@@ -1,0 +1,353 @@
+// Command alchemist profiles mini-C programs for parallelization
+// opportunities and regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	alchemist profile   (-w workload | -f file.mc) [flags]  ranked dependence profile (Fig. 2/3)
+//	alchemist advise    (-w workload | -f file.mc) [flags]  transformation guidance
+//	alchemist fig6      [-small]                            Fig. 6(a)-(d) scatter data
+//	alchemist table3    [-small]                            Table III (profiling cost)
+//	alchemist table4    [-small]                            Table IV (conflicts at parallelized spots)
+//	alchemist table5    [-small] [-runs N]                  Table V (speedups)
+//	alchemist run       (-w workload | -f file.mc) [-parallel] [-par-src]
+//	alchemist disasm    (-w workload | -f file.mc)
+//	alchemist list                                          available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"alchemist/internal/advisor"
+	"alchemist/internal/bench"
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/ir"
+	"alchemist/internal/progs"
+	"alchemist/internal/report"
+	"alchemist/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "profile":
+		err = cmdProfile(args)
+	case "advise":
+		err = cmdAdvise(args)
+	case "fig6":
+		err = cmdFig6(args)
+	case "table3":
+		err = cmdTable3(args)
+	case "table4":
+		err = cmdTable4(args)
+	case "table5":
+		err = cmdTable5(args)
+	case "run":
+		err = cmdRun(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "list":
+		err = cmdList(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "alchemist: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alchemist: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `alchemist - transparent dependence distance profiler (CGO'09 reproduction)
+
+commands:
+  profile   ranked per-construct dependence profile (paper Fig. 2/3)
+  advise    transformation guidance per construct
+  fig6      Fig. 6(a)-(d): size vs violating RAW deps for parallelized programs
+  table3    Table III: LOC, construct counts, native vs profiled time
+  table4    Table IV: conflict counts at the parallelized locations
+  table5    Table V: sequential vs parallel wall-clock and speedup
+  run       execute a program (optionally the spawn/sync variant in parallel)
+  disasm    dump compiled bytecode
+  list      list embedded workloads
+
+run 'alchemist <command> -h' for flags`)
+}
+
+// sourceFlags resolves -w / -f / -scale into a program + input.
+type sourceFlags struct {
+	workload string
+	file     string
+	scale    int
+	parSrc   bool
+}
+
+func (sf *sourceFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&sf.workload, "w", "", "embedded workload name (see 'alchemist list')")
+	fs.StringVar(&sf.file, "f", "", "mini-C source file")
+	fs.IntVar(&sf.scale, "scale", 0, "workload input scale (0 = paper default)")
+	fs.BoolVar(&sf.parSrc, "par-src", false, "use the workload's spawn/sync variant")
+}
+
+func (sf *sourceFlags) load(inputCSV string) (name, src string, input []int64, memWords int64, err error) {
+	switch {
+	case sf.workload != "":
+		w, err := progs.ByName(sf.workload)
+		if err != nil {
+			return "", "", nil, 0, err
+		}
+		src := w.Source
+		if sf.parSrc {
+			if !w.HasParallel() {
+				return "", "", nil, 0, fmt.Errorf("workload %s has no parallel variant", w.Name)
+			}
+			src = w.ParSource
+		}
+		return w.Name + ".mc", src, w.InputFor(sf.scale), w.MemWords, nil
+	case sf.file != "":
+		data, err := os.ReadFile(sf.file)
+		if err != nil {
+			return "", "", nil, 0, err
+		}
+		input, err := parseInput(inputCSV)
+		if err != nil {
+			return "", "", nil, 0, err
+		}
+		return sf.file, string(data), input, 0, nil
+	default:
+		return "", "", nil, 0, fmt.Errorf("need -w <workload> or -f <file.mc>")
+	}
+}
+
+func parseInput(csv string) ([]int64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad input element %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseTypes(s string) ([]core.DepType, error) {
+	if s == "" {
+		return []core.DepType{core.RAW}, nil
+	}
+	var out []core.DepType
+	for _, p := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(p)) {
+		case "raw":
+			out = append(out, core.RAW)
+		case "war":
+			out = append(out, core.WAR)
+		case "waw":
+			out = append(out, core.WAW)
+		case "all":
+			out = append(out, core.RAW, core.WAR, core.WAW)
+		default:
+			return nil, fmt.Errorf("unknown dependence type %q", p)
+		}
+	}
+	return out, nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	var sf sourceFlags
+	sf.register(fs)
+	top := fs.Int("top", 12, "constructs to print (0 = all)")
+	edges := fs.Int("edges", 8, "edges per construct (0 = all)")
+	all := fs.Bool("all", false, "print non-violating edges too")
+	typesCSV := fs.String("types", "raw", "dependence types: raw,war,waw or all")
+	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	jsonOut := fs.Bool("json", false, "emit the profile as JSON")
+	fs.Parse(args)
+
+	name, src, input, memWords, err := sf.load(*inputCSV)
+	if err != nil {
+		return err
+	}
+	types, err := parseTypes(*typesCSV)
+	if err != nil {
+		return err
+	}
+	prof, _, err := core.ProfileSource(name, src, vm.Config{Input: input, MemWords: memWords}, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return report.WriteJSON(os.Stdout, prof)
+	}
+	report.Write(os.Stdout, prof, report.Options{
+		Top: *top, MaxEdges: *edges, Types: types, ShowAllEdges: *all,
+	})
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	var sf sourceFlags
+	sf.register(fs)
+	top := fs.Int("top", 8, "constructs to advise on")
+	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	fs.Parse(args)
+
+	name, src, input, memWords, err := sf.load(*inputCSV)
+	if err != nil {
+		return err
+	}
+	prof, _, err := core.ProfileSource(name, src, vm.Config{Input: input, MemWords: memWords}, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	reports := advisor.Analyze(prof, advisor.Config{})
+	advisor.WriteReports(os.Stdout, prof, reports, *top)
+	return nil
+}
+
+func cmdFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	small := fs.Bool("small", false, "use small inputs")
+	top := fs.Int("top", 11, "constructs per panel")
+	fs.Parse(args)
+	sc := bench.Scale{Small: *small}
+
+	a, b, _, err := bench.Fig6Gzip(sc, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 6(a): %s\n", a.Title)
+	report.WriteFig6(os.Stdout, a.Points)
+	fmt.Printf("\nFig 6(b): %s\n", b.Title)
+	report.WriteFig6(os.Stdout, b.Points)
+
+	c, _, err := bench.Fig6Parser(sc, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig 6(c): %s\n", c.Title)
+	report.WriteFig6(os.Stdout, c.Points)
+
+	d, _, err := bench.Fig6Lisp(sc, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig 6(d): %s\n", d.Title)
+	report.WriteFig6(os.Stdout, d.Points)
+	return nil
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	small := fs.Bool("small", false, "use small inputs")
+	fs.Parse(args)
+	rows, err := bench.Table3(bench.Scale{Small: *small})
+	if err != nil {
+		return err
+	}
+	report.WriteTable3(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable4(args []string) error {
+	fs := flag.NewFlagSet("table4", flag.ExitOnError)
+	small := fs.Bool("small", false, "use small inputs")
+	fs.Parse(args)
+	rows, err := bench.Table4(bench.Scale{Small: *small})
+	if err != nil {
+		return err
+	}
+	report.WriteTable4(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable5(args []string) error {
+	fs := flag.NewFlagSet("table5", flag.ExitOnError)
+	small := fs.Bool("small", false, "use small inputs")
+	runs := fs.Int("runs", 3, "timed runs per configuration (best kept)")
+	fs.Parse(args)
+	rows, err := bench.Table5(bench.Scale{Small: *small}, *runs)
+	if err != nil {
+		return err
+	}
+	report.WriteTable5(os.Stdout, rows)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var sf sourceFlags
+	sf.register(fs)
+	parallel := fs.Bool("parallel", false, "execute spawns on goroutines")
+	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	fs.Parse(args)
+
+	name, src, input, memWords, err := sf.load(*inputCSV)
+	if err != nil {
+		return err
+	}
+	prog, err := compile.Build(name, src)
+	if err != nil {
+		return err
+	}
+	m, err := vm.New(prog, vm.Config{Input: input, MemWords: memWords, Parallel: *parallel, Out: os.Stdout})
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steps=%d ret=%d out=%v\n", res.Steps, res.Ret, res.Output)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	var sf sourceFlags
+	sf.register(fs)
+	fs.Parse(args)
+
+	name, src, _, _, err := sf.load("")
+	if err != nil {
+		return err
+	}
+	prog, err := compile.Build(name, src)
+	if err != nil {
+		return err
+	}
+	for _, f := range prog.Funcs {
+		fmt.Print(ir.Disassemble(f))
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fmt.Printf("%-12s %-6s %-9s %s\n", "name", "LOC", "parallel", "description")
+	for _, w := range progs.All() {
+		par := "-"
+		if w.HasParallel() {
+			par = "yes"
+		}
+		fmt.Printf("%-12s %-6d %-9s %s\n", w.Name, w.LOC(), par, w.Description)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "minicc-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binary = filepath.Join(dir, "minicc")
+	cmd := exec.Command("go", "build", "-o", binary, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(binary, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("minicc %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+const sampleProg = `
+int acc[4];
+void work(int i) { acc[i] = i * i; }
+int main() {
+	for (int i = 0; i < 4; i++) { spawn work(i); }
+	sync;
+	out(acc[0] + acc[1] + acc[2] + acc[3]);
+	print("done");
+	return 0;
+}`
+
+func TestMiniccRun(t *testing.T) {
+	path := writeProg(t, sampleProg)
+	out := run(t, "run", path)
+	if !strings.Contains(out, "done") || !strings.Contains(out, "out=[14]") {
+		t.Errorf("run output:\n%s", out)
+	}
+}
+
+func TestMiniccRunModes(t *testing.T) {
+	path := writeProg(t, sampleProg)
+	par := run(t, "run", path, "-parallel")
+	if !strings.Contains(par, "out=[14]") {
+		t.Errorf("parallel output:\n%s", par)
+	}
+	sim := run(t, "run", path, "-workers", "2")
+	if !strings.Contains(sim, "virtual=") || !strings.Contains(sim, "out=[14]") {
+		t.Errorf("simulated output:\n%s", sim)
+	}
+	opt := run(t, "run", path, "-O")
+	if !strings.Contains(opt, "out=[14]") {
+		t.Errorf("optimized output:\n%s", opt)
+	}
+}
+
+func TestMiniccCheck(t *testing.T) {
+	path := writeProg(t, sampleProg)
+	out := run(t, "check", path)
+	if !strings.Contains(out, "ok (1 globals, 2 functions)") {
+		t.Errorf("check output: %s", out)
+	}
+	bad := writeProg(t, `int main() { return x; }`)
+	if out, err := exec.Command(binary, "check", bad).CombinedOutput(); err == nil {
+		t.Errorf("check accepted bad program:\n%s", out)
+	} else if !strings.Contains(string(out), "undefined variable") {
+		t.Errorf("check error output: %s", out)
+	}
+}
+
+func TestMiniccDisasmAndAST(t *testing.T) {
+	path := writeProg(t, sampleProg)
+	dis := run(t, "disasm", path)
+	if !strings.Contains(dis, "func work") || !strings.Contains(dis, "spawn work") {
+		t.Errorf("disasm output:\n%s", dis)
+	}
+	tree := run(t, "ast", path)
+	if !strings.Contains(tree, "func void work(i)") || !strings.Contains(tree, "spawn") {
+		t.Errorf("ast output:\n%s", tree)
+	}
+}
+
+func TestMiniccInput(t *testing.T) {
+	path := writeProg(t, `int main() { out(in(0) + in(1)); return 0; }`)
+	out := run(t, "run", path, "-input", "40,2")
+	if !strings.Contains(out, "out=[42]") {
+		t.Errorf("input run output: %s", out)
+	}
+}
+
+func TestMiniccStepLimit(t *testing.T) {
+	path := writeProg(t, `int main() { while (1) {} return 0; }`)
+	out, err := exec.Command(binary, "run", path, "-steplimit", "5000").CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "step limit") {
+		t.Errorf("step limit run: err=%v out=%s", err, out)
+	}
+}

@@ -1,0 +1,79 @@
+// gzipprofile reproduces the paper's running example (Fig. 2 and Fig. 3):
+// profiling the gzip analog, listing flush_block's RAW dependences with
+// their distances, then the WAR/WAW profile that motivates privatizing
+// flag_buf and hoisting the last_flags reset.
+//
+// Run with: go run ./examples/gzipprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alchemist"
+	"alchemist/internal/progs"
+)
+
+func main() {
+	w := progs.Gzip()
+	prog, err := alchemist.Compile("gzip.mc", w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, _, err := prog.Profile(alchemist.ProfileConfig{
+		RunConfig: alchemist.RunConfig{
+			Input:    w.InputFor(0),
+			MemWords: w.MemWords,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Fig. 2: ranked profile with RAW dependences ===")
+	fmt.Print(alchemist.Report(profile, alchemist.ReportOptions{
+		Top: 8, MaxEdges: 6, ShowAllEdges: true,
+	}))
+
+	flush := profile.ConstructForFunc("flush_block")
+	if flush == nil {
+		log.Fatal("flush_block not profiled")
+	}
+	dur := flush.MeanDur()
+	fmt.Printf("\nMethod flush_block: Tdur(total)=%d inst=%d mean=%d\n", flush.Ttotal, flush.Instances, dur)
+	fmt.Println("RAW edges (paper Fig. 2 box: only the short-distance ones violate):")
+	for _, e := range flush.Edges {
+		if e.Type != alchemist.RAW {
+			continue
+		}
+		mark := "        "
+		if e.Violates(dur) {
+			mark = "VIOLATES"
+		}
+		fmt.Printf("  RAW line %3d -> line %3d  Tdep=%-10d %s\n",
+			e.HeadPos.Line, e.TailPos.Line, e.MinDist, mark)
+	}
+
+	fmt.Println("\n=== Fig. 3: WAR and WAW profile for flush_block ===")
+	for _, e := range flush.Edges {
+		if e.Type == alchemist.RAW {
+			continue
+		}
+		mark := "        "
+		if e.Violates(dur) {
+			mark = "VIOLATES -> privatize / hoist"
+		}
+		fmt.Printf("  %s line %3d -> line %3d  Tdep=%-10d %s\n",
+			e.Type, e.HeadPos.Line, e.TailPos.Line, e.MinDist, mark)
+	}
+
+	fmt.Println("\n=== Fig. 6(a)/(b): candidate ranking and removal ===")
+	for _, pt := range alchemist.Fig6(profile, 8) {
+		fmt.Printf("  C%-2d %-38s size=%.3f violRAW=%d\n", pt.Rank, pt.Name, pt.SizeNorm, pt.Violations)
+	}
+	c1 := alchemist.Fig6(profile, 8)[1] // the per-file loop
+	fmt.Printf("\nafter parallelizing %s and removing its co-parallelized constructs:\n", c1.Name)
+	for _, pt := range alchemist.Fig6Excluding(profile, 8, c1.Label) {
+		fmt.Printf("  C%-2d %-38s size=%.3f violRAW=%d\n", pt.Rank, pt.Name, pt.SizeNorm, pt.Violations)
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: profile a small program end to end.
+//
+// The program below repeatedly produces a value in produce() and consumes
+// it later; Alchemist's profile shows produce() is a future candidate
+// (all its RAW distances exceed its duration) while the accumulation loop
+// carries a violating cross-iteration dependence.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alchemist"
+)
+
+const src = `// quickstart.mc
+int staging[64];
+int history[4096];
+int nhist;
+
+// produce fills the staging buffer with derived values.
+void produce(int round) {
+	for (int i = 0; i < 64; i++) {
+		int x = round * 64 + i;
+		int acc = 0;
+		for (int k = 0; k < 20; k++) {
+			acc += (x * 31 + k) & 255;
+		}
+		staging[i] = acc;
+	}
+}
+
+// consume folds the staging buffer into the running history.
+void consume() {
+	for (int i = 0; i < 64; i++) {
+		history[nhist] = staging[i];
+		nhist++;
+	}
+}
+
+int main() {
+	for (int round = 0; round < 50; round++) {
+		produce(round);
+		// Unrelated work between production and consumption gives the
+		// RAW edges room to exceed produce's duration.
+		int spin = 0;
+		for (int k = 0; k < 3000; k++) {
+			spin += k ^ round;
+		}
+		consume();
+		out(spin & 1);
+	}
+	out(nhist);
+	return 0;
+}
+`
+
+func main() {
+	prog, err := alchemist.Compile("quickstart.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile, result, err := prog.Profile(alchemist.ProfileConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d instructions; %d static constructs, %d dynamic instances\n\n",
+		result.Steps, profile.StaticConstructs, profile.DynamicConstructs)
+
+	fmt.Println("=== ranked dependence profile (RAW edges, violating marked *) ===")
+	fmt.Print(alchemist.Report(profile, alchemist.ReportOptions{Top: 6, MaxEdges: 4, ShowAllEdges: true}))
+
+	fmt.Println("\n=== transformation advice ===")
+	advice := alchemist.Advise(profile)
+	fmt.Print(alchemist.AdviceText(profile, advice, 4))
+
+	// Programmatic access: is produce() a future candidate?
+	produce := profile.ConstructForFunc("produce")
+	if produce == nil {
+		log.Fatal("produce not profiled")
+	}
+	dur := produce.MeanDur()
+	clean := true
+	for _, e := range produce.Edges {
+		if e.Type == alchemist.RAW && e.Violates(dur) {
+			clean = false
+		}
+	}
+	fmt.Printf("\nproduce(): mean duration %d instructions, %d RAW edges, future candidate: %v\n",
+		dur, produce.CountEdges(alchemist.RAW), clean)
+}

@@ -1,0 +1,204 @@
+// Package advisor converts a dependence profile into the transformation
+// guidance described in the paper's §II: which constructs to annotate as
+// futures, where to join, which variables to privatize, and which resets
+// to hoist into the continuation.
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"alchemist/internal/core"
+	"alchemist/internal/report"
+)
+
+// Action is the kind of transformation suggested.
+type Action int
+
+const (
+	// AnnotateFuture marks the construct for asynchronous evaluation: all
+	// RAW distances exceed the construct duration.
+	AnnotateFuture Action = iota
+	// JoinBefore asks for a join (claim point) before a specific read:
+	// the RAW edge has Tdep > Tdur so a join suffices to respect it.
+	JoinBefore
+	// Blocking flags a RAW edge with Tdep <= Tdur: the continuation needs
+	// the value too early; parallelizing requires restructuring.
+	Blocking
+	// Privatize suggests a private copy of the conflicting location: a
+	// WAR/WAW edge with Tdep <= Tdur would let the construct observe or
+	// clobber its logical future.
+	Privatize
+	// JoinBeforeWrite handles WAR/WAW edges with Tdep > Tdur: joining the
+	// future before the conflicting write preserves ordering.
+	JoinBeforeWrite
+	// TooSmall reports a construct whose duration is too short to benefit
+	// from asynchronous execution.
+	TooSmall
+)
+
+func (a Action) String() string {
+	switch a {
+	case AnnotateFuture:
+		return "annotate-future"
+	case JoinBefore:
+		return "join-before-read"
+	case Blocking:
+		return "blocking-dependence"
+	case Privatize:
+		return "privatize"
+	case JoinBeforeWrite:
+		return "join-before-write"
+	case TooSmall:
+		return "too-small"
+	default:
+		return "?"
+	}
+}
+
+// Advice is one suggestion about one construct (and possibly one edge).
+type Advice struct {
+	Action Action
+	// Edge is the dependence motivating the advice; zero-valued for
+	// construct-level advice.
+	Edge core.Edge
+	Text string
+}
+
+// Report is the advisor's output for one construct.
+type Report struct {
+	Construct *core.ConstructStat
+	// Parallelizable is the paper's headline judgment: the construct is
+	// big enough and has no blocking RAW dependences.
+	Parallelizable bool
+	// Score ranks candidates: duration weighted down by violating
+	// dependences.
+	Score   float64
+	Advices []Advice
+}
+
+// Config tunes the advisor.
+type Config struct {
+	// MinDuration is the smallest mean construct duration worth
+	// parallelizing (default 1000 instructions).
+	MinDuration int64
+}
+
+// Analyze produces advice for every construct, ranked by descending
+// score.
+func Analyze(p *core.Profile, cfg Config) []*Report {
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 1000
+	}
+	var reports []*Report
+	for _, c := range p.Constructs {
+		reports = append(reports, analyzeConstruct(c, cfg))
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].Parallelizable != reports[j].Parallelizable {
+			return reports[i].Parallelizable
+		}
+		return reports[i].Score > reports[j].Score
+	})
+	return reports
+}
+
+// AnalyzeConstruct produces advice for a single construct.
+func AnalyzeConstruct(c *core.ConstructStat, cfg Config) *Report {
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 1000
+	}
+	return analyzeConstruct(c, cfg)
+}
+
+func analyzeConstruct(c *core.ConstructStat, cfg Config) *Report {
+	r := &Report{Construct: c}
+	dur := c.MeanDur()
+	if dur < cfg.MinDuration {
+		r.Advices = append(r.Advices, Advice{
+			Action: TooSmall,
+			Text: fmt.Sprintf("mean duration %d < %d instructions; asynchronous execution would not pay for itself",
+				dur, cfg.MinDuration),
+		})
+		return r
+	}
+
+	blockingRAW := 0
+	for _, e := range c.Edges {
+		switch e.Type {
+		case core.RAW:
+			if e.Violates(dur) {
+				blockingRAW++
+				r.Advices = append(r.Advices, Advice{
+					Action: Blocking, Edge: e,
+					Text: fmt.Sprintf("RAW line %d -> line %d has Tdep=%d <= Tdur=%d: the continuation needs the value before the construct would finish",
+						e.HeadPos.Line, e.TailPos.Line, e.MinDist, dur),
+				})
+			} else {
+				r.Advices = append(r.Advices, Advice{
+					Action: JoinBefore, Edge: e,
+					Text: fmt.Sprintf("RAW line %d -> line %d has Tdep=%d > Tdur=%d: join the future before the read at line %d",
+						e.HeadPos.Line, e.TailPos.Line, e.MinDist, dur, e.TailPos.Line),
+				})
+			}
+		case core.WAR, core.WAW:
+			if e.Violates(dur) {
+				verb := "the read at"
+				if e.Type == core.WAW {
+					verb = "the earlier write at"
+				}
+				r.Advices = append(r.Advices, Advice{
+					Action: Privatize, Edge: e,
+					Text: fmt.Sprintf("%s line %d -> line %d has Tdep=%d <= Tdur=%d: privatize the conflicting location (%s line %d would otherwise see its logical future)",
+						e.Type, e.HeadPos.Line, e.TailPos.Line, e.MinDist, dur, verb, e.HeadPos.Line),
+				})
+			} else {
+				r.Advices = append(r.Advices, Advice{
+					Action: JoinBeforeWrite, Edge: e,
+					Text: fmt.Sprintf("%s line %d -> line %d has Tdep=%d > Tdur=%d: joining before the write at line %d suffices",
+						e.Type, e.HeadPos.Line, e.TailPos.Line, e.MinDist, dur, e.TailPos.Line),
+				})
+			}
+		}
+	}
+
+	if blockingRAW == 0 {
+		r.Parallelizable = true
+		r.Advices = append([]Advice{{
+			Action: AnnotateFuture,
+			Text:   "all RAW distances exceed the construct duration: annotate as a future and join at the first conflicting access",
+		}}, r.Advices...)
+	}
+	r.Score = float64(c.Ttotal) / float64(1+blockingRAW)
+	return r
+}
+
+// WriteReports renders the top reports as text.
+func WriteReports(w io.Writer, p *core.Profile, reports []*Report, top int) {
+	shown := 0
+	for _, r := range reports {
+		if top > 0 && shown >= top {
+			return
+		}
+		shown++
+		status := "NOT parallelizable as-is"
+		if r.Parallelizable {
+			status = "future candidate"
+		}
+		c := r.Construct
+		fmt.Fprintf(w, "%s (line %d): Tdur=%d inst=%d -- %s\n",
+			report.ConstructName(c), c.Pos.Line, c.Ttotal, c.Instances, status)
+		for _, a := range r.Advices {
+			fmt.Fprintf(w, "    [%s] %s\n", a.Action, a.Text)
+		}
+	}
+}
+
+// TextReports renders reports to a string.
+func TextReports(p *core.Profile, reports []*Report, top int) string {
+	var b strings.Builder
+	WriteReports(&b, p, reports, top)
+	return b.String()
+}

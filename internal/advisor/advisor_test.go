@@ -1,0 +1,225 @@
+package advisor_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/advisor"
+	"alchemist/internal/core"
+	"alchemist/internal/vm"
+)
+
+func profileSrc(t *testing.T, src string) *core.Profile {
+	t.Helper()
+	p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func reportFor(t *testing.T, p *core.Profile, fn string) *advisor.Report {
+	t.Helper()
+	c := p.ConstructForFunc(fn)
+	if c == nil {
+		t.Fatalf("no construct %s", fn)
+	}
+	return advisor.AnalyzeConstruct(c, advisor.Config{MinDuration: 100})
+}
+
+func hasAction(r *advisor.Report, a advisor.Action) bool {
+	for _, adv := range r.Advices {
+		if adv.Action == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFutureCandidate(t *testing.T) {
+	src := `
+int result;
+int sink;
+void work() {
+	int s = 0;
+	for (int i = 0; i < 100; i++) { s += i; }
+	result = s;
+}
+int main() {
+	work();
+	int spin = 0;
+	for (int i = 0; i < 2500; i++) { spin += i; }
+	sink = result + spin;
+	return 0;
+}`
+	p := profileSrc(t, src)
+	r := reportFor(t, p, "work")
+	if !r.Parallelizable {
+		t.Fatalf("work should be parallelizable: %+v", r.Advices)
+	}
+	if !hasAction(r, advisor.AnnotateFuture) {
+		t.Error("missing annotate-future advice")
+	}
+	if !hasAction(r, advisor.JoinBefore) {
+		t.Error("missing join-before-read advice for the far read")
+	}
+}
+
+func TestBlockingDependence(t *testing.T) {
+	src := `
+int result;
+int sink;
+void work() {
+	int s = 0;
+	for (int i = 0; i < 500; i++) { s += i; }
+	result = s;
+}
+int main() {
+	for (int r = 0; r < 5; r++) {
+		work();
+		sink = result;
+	}
+	return 0;
+}`
+	p := profileSrc(t, src)
+	r := reportFor(t, p, "work")
+	if r.Parallelizable {
+		t.Error("work with an immediate consumer should not be parallelizable")
+	}
+	if !hasAction(r, advisor.Blocking) {
+		t.Error("missing blocking-dependence advice")
+	}
+}
+
+func TestPrivatizeAdvice(t *testing.T) {
+	src := `
+int buf;
+int sink;
+void producer() {
+	buf = sink & 15;
+	int s = 0;
+	for (int i = 0; i < 300; i++) { s += i; }
+	sink = buf + s;
+}
+int main() {
+	for (int r = 0; r < 6; r++) {
+		producer();
+	}
+	return 0;
+}`
+	p := profileSrc(t, src)
+	r := reportFor(t, p, "producer")
+	// producer reads buf then the next call writes it: WAR with a
+	// distance of roughly one call gap vs a large duration -> privatize.
+	if !hasAction(r, advisor.Privatize) {
+		t.Errorf("missing privatize advice: %+v", r.Advices)
+	}
+}
+
+func TestTooSmall(t *testing.T) {
+	src := `
+int g;
+void tiny() { g = g + 1; }
+int main() {
+	for (int i = 0; i < 10; i++) { tiny(); }
+	return 0;
+}`
+	p := profileSrc(t, src)
+	c := p.ConstructForFunc("tiny")
+	r := advisor.AnalyzeConstruct(c, advisor.Config{MinDuration: 1000})
+	if r.Parallelizable {
+		t.Error("tiny construct marked parallelizable")
+	}
+	if !hasAction(r, advisor.TooSmall) {
+		t.Error("missing too-small advice")
+	}
+}
+
+func TestAnalyzeRanking(t *testing.T) {
+	src := `
+int a;
+int b;
+void clean() {
+	int s = 0;
+	for (int i = 0; i < 2000; i++) { s += i; }
+	a = s;
+}
+void dirty() {
+	int s = 0;
+	for (int i = 0; i < 2000; i++) { s += b; b = s & 7; }
+}
+int main() {
+	for (int r = 0; r < 3; r++) {
+		clean();
+		dirty();
+	}
+	int x = a;
+	out(x);
+	return 0;
+}`
+	p := profileSrc(t, src)
+	reports := advisor.Analyze(p, advisor.Config{MinDuration: 100})
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// Parallelizable reports come first.
+	seenNonPar := false
+	for _, r := range reports {
+		if !r.Parallelizable {
+			seenNonPar = true
+		} else if seenNonPar {
+			t.Fatal("parallelizable report after non-parallelizable one")
+		}
+	}
+	text := advisor.TextReports(p, reports, 5)
+	if !strings.Contains(text, "future candidate") {
+		t.Errorf("rendered advice lacks candidates:\n%s", text)
+	}
+	if !strings.Contains(text, "[annotate-future]") {
+		t.Errorf("rendered advice lacks actions:\n%s", text)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a, want := range map[advisor.Action]string{
+		advisor.AnnotateFuture:  "annotate-future",
+		advisor.JoinBefore:      "join-before-read",
+		advisor.Blocking:        "blocking-dependence",
+		advisor.Privatize:       "privatize",
+		advisor.JoinBeforeWrite: "join-before-write",
+		advisor.TooSmall:        "too-small",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if advisor.Action(99).String() != "?" {
+		t.Error("unknown action string")
+	}
+}
+
+func TestJoinBeforeWrite(t *testing.T) {
+	src := `
+int v;
+int sink;
+void reader() {
+	int s = 0;
+	for (int i = 0; i < 400; i++) { s += v; }
+	sink = s;
+}
+int main() {
+	reader();
+	int spin = 0;
+	for (int i = 0; i < 2500; i++) { spin += i; }
+	v = spin;
+	out(v);
+	return 0;
+}`
+	p := profileSrc(t, src)
+	r := reportFor(t, p, "reader")
+	// reader's WAR to the far write can be satisfied by joining before
+	// the write.
+	if !hasAction(r, advisor.JoinBeforeWrite) {
+		t.Errorf("missing join-before-write: %+v", r.Advices)
+	}
+}

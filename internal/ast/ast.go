@@ -1,0 +1,359 @@
+// Package ast defines the abstract syntax tree for mini-C.
+//
+// The tree is deliberately small: mini-C has one scalar type (64-bit int),
+// one aggregate type (int arrays with reference semantics), functions,
+// C-style control flow, and two concurrency primitives (spawn/sync) used by
+// the futures runtime. Every node records the source position of its first
+// token so the profiler can report construct locations by line.
+package ast
+
+import (
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------- Types ----------
+
+// TypeKind distinguishes the mini-C types.
+type TypeKind int
+
+const (
+	// TypeVoid is the return type of value-less functions.
+	TypeVoid TypeKind = iota
+	// TypeInt is the 64-bit integer scalar type.
+	TypeInt
+	// TypeArray is a reference to a contiguous block of ints.
+	TypeArray
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeArray:
+		return "int[]"
+	default:
+		return "?"
+	}
+}
+
+// ---------- Program structure ----------
+
+// Program is a parsed translation unit.
+type Program struct {
+	File    *source.File
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Pos returns the start of the file.
+func (p *Program) Pos() source.Pos {
+	if p.File == nil {
+		return source.Pos{}
+	}
+	return p.File.Pos(0)
+}
+
+// FindFunc returns the function named name, or nil.
+func (p *Program) FindFunc(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Param is a function parameter.
+type Param struct {
+	NamePos source.Pos
+	Name    string
+	IsArray bool
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	KwPos   source.Pos
+	Name    string
+	Params  []*Param
+	Returns TypeKind // TypeVoid or TypeInt
+	Body    *BlockStmt
+}
+
+func (f *FuncDecl) Pos() source.Pos { return f.KwPos }
+
+// VarDecl declares a global or local variable. A global scalar may carry a
+// constant initializer; a local may carry an arbitrary initializer
+// expression. Array declarations carry a size expression (constant for
+// globals, arbitrary for locals).
+type VarDecl struct {
+	KwPos   source.Pos
+	Name    string
+	IsArray bool
+	Size    Expr // array length; nil for scalars
+	Init    Expr // initializer; nil if absent
+}
+
+func (v *VarDecl) Pos() source.Pos { return v.KwPos }
+
+// ---------- Statements ----------
+
+// Stmt is implemented by every statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	LBrace source.Pos
+	List   []Stmt
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// AssignStmt stores into an lvalue. Op is token.Assign or a compound
+// assignment operator; Inc/Dec are desugared by the parser into compound
+// assignments with a literal 1.
+type AssignStmt struct {
+	LHS Expr // *Ident or *IndexExpr
+	Op  token.Kind
+	RHS Expr
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	KwPos source.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is a while loop. For loops and do-while loops are desugared to
+// while loops by the parser (do-while via a first-iteration flag).
+type WhileStmt struct {
+	KwPos source.Pos
+	Cond  Expr
+	Body  Stmt
+	// Post holds the for-loop post statement, executed at the end of each
+	// iteration and before every continue. nil for plain while loops.
+	Post Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	KwPos source.Pos
+}
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct {
+	KwPos source.Pos
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	KwPos source.Pos
+	X     Expr // nil for void returns
+}
+
+// SpawnStmt launches f(args) asynchronously (a future). Under the
+// sequential profiler it executes as a plain call; under the futures
+// runtime it runs on its own goroutine.
+type SpawnStmt struct {
+	KwPos source.Pos
+	Call  *CallExpr
+}
+
+// SyncStmt joins every outstanding spawn of the current function
+// activation.
+type SyncStmt struct {
+	KwPos source.Pos
+}
+
+func (s *BlockStmt) Pos() source.Pos    { return s.LBrace }
+func (s *DeclStmt) Pos() source.Pos     { return s.Decl.KwPos }
+func (s *ExprStmt) Pos() source.Pos     { return s.X.Pos() }
+func (s *AssignStmt) Pos() source.Pos   { return s.LHS.Pos() }
+func (s *IfStmt) Pos() source.Pos       { return s.KwPos }
+func (s *WhileStmt) Pos() source.Pos    { return s.KwPos }
+func (s *BreakStmt) Pos() source.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() source.Pos { return s.KwPos }
+func (s *ReturnStmt) Pos() source.Pos   { return s.KwPos }
+func (s *SpawnStmt) Pos() source.Pos    { return s.KwPos }
+func (s *SyncStmt) Pos() source.Pos     { return s.KwPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()    {}
+func (*SyncStmt) stmtNode()     {}
+
+// ---------- Expressions ----------
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos source.Pos
+	Val    int64
+}
+
+// StrLit is a string literal (print builtin only).
+type StrLit struct {
+	LitPos source.Pos
+	Val    string
+}
+
+// UnaryExpr applies -, !, or ~ to an operand.
+type UnaryExpr struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// BinaryExpr applies an arithmetic, comparison, or logical operator.
+// && and || short-circuit.
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// CondExpr is the ternary conditional c ? a : b.
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// IndexExpr is an array element access a[i].
+type IndexExpr struct {
+	X     Expr // *Ident after type checking
+	Index Expr
+}
+
+// CallExpr is a function or builtin call.
+type CallExpr struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+func (e *Ident) Pos() source.Pos      { return e.NamePos }
+func (e *IntLit) Pos() source.Pos     { return e.LitPos }
+func (e *StrLit) Pos() source.Pos     { return e.LitPos }
+func (e *UnaryExpr) Pos() source.Pos  { return e.OpPos }
+func (e *BinaryExpr) Pos() source.Pos { return e.X.Pos() }
+func (e *CondExpr) Pos() source.Pos   { return e.Cond.Pos() }
+func (e *IndexExpr) Pos() source.Pos  { return e.X.Pos() }
+func (e *CallExpr) Pos() source.Pos   { return e.Fun.Pos() }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+
+// Walk calls fn for node and every child, pre-order. fn returning false
+// prunes the subtree.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, g := range x.Globals {
+			Walk(g, fn)
+		}
+		for _, f := range x.Funcs {
+			Walk(f, fn)
+		}
+	case *FuncDecl:
+		Walk(x.Body, fn)
+	case *VarDecl:
+		if x.Size != nil {
+			Walk(x.Size, fn)
+		}
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		Walk(x.Decl, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *AssignStmt:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *SpawnStmt:
+		Walk(x.Call, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *CallExpr:
+		Walk(x.Fun, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}

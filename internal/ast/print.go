@@ -1,0 +1,179 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alchemist/internal/token"
+)
+
+// Dump writes a readable tree rendering of the program, for the minicc
+// tool and golden tests.
+func Dump(w io.Writer, p *Program) {
+	d := &dumper{w: w}
+	for _, g := range p.Globals {
+		d.varDecl(g, "global")
+	}
+	for _, f := range p.Funcs {
+		d.funcDecl(f)
+	}
+}
+
+// DumpString renders the program to a string.
+func DumpString(p *Program) string {
+	var b strings.Builder
+	Dump(&b, p)
+	return b.String()
+}
+
+type dumper struct {
+	w      io.Writer
+	indent int
+}
+
+func (d *dumper) printf(format string, args ...any) {
+	fmt.Fprintf(d.w, "%s%s\n", strings.Repeat("  ", d.indent), fmt.Sprintf(format, args...))
+}
+
+func (d *dumper) nested(fn func()) {
+	d.indent++
+	fn()
+	d.indent--
+}
+
+func (d *dumper) varDecl(v *VarDecl, kind string) {
+	suffix := ""
+	if v.IsArray {
+		suffix = "[]"
+	}
+	d.printf("%s %s%s (line %d)", kind, v.Name, suffix, v.Pos().Line)
+	d.nested(func() {
+		if v.Size != nil {
+			d.printf("size:")
+			d.nested(func() { d.expr(v.Size) })
+		}
+		if v.Init != nil {
+			d.printf("init:")
+			d.nested(func() { d.expr(v.Init) })
+		}
+	})
+}
+
+func (d *dumper) funcDecl(f *FuncDecl) {
+	var params []string
+	for _, p := range f.Params {
+		s := p.Name
+		if p.IsArray {
+			s += "[]"
+		}
+		params = append(params, s)
+	}
+	d.printf("func %s %s(%s) (line %d)", f.Returns, f.Name, strings.Join(params, ", "), f.Pos().Line)
+	d.nested(func() { d.stmt(f.Body) })
+}
+
+func (d *dumper) stmt(s Stmt) {
+	switch x := s.(type) {
+	case nil:
+		d.printf("<empty>")
+	case *BlockStmt:
+		d.printf("block")
+		d.nested(func() {
+			for _, sub := range x.List {
+				d.stmt(sub)
+			}
+		})
+	case *DeclStmt:
+		d.varDecl(x.Decl, "local")
+	case *ExprStmt:
+		d.printf("expr")
+		d.nested(func() { d.expr(x.X) })
+	case *AssignStmt:
+		d.printf("assign %s", x.Op)
+		d.nested(func() {
+			d.expr(x.LHS)
+			d.expr(x.RHS)
+		})
+	case *IfStmt:
+		d.printf("if (line %d)", x.Pos().Line)
+		d.nested(func() {
+			d.expr(x.Cond)
+			d.stmt(x.Then)
+			if x.Else != nil {
+				d.printf("else:")
+				d.nested(func() { d.stmt(x.Else) })
+			}
+		})
+	case *WhileStmt:
+		d.printf("while (line %d)", x.Pos().Line)
+		d.nested(func() {
+			d.expr(x.Cond)
+			d.stmt(x.Body)
+			if x.Post != nil {
+				d.printf("post:")
+				d.nested(func() { d.stmt(x.Post) })
+			}
+		})
+	case *BreakStmt:
+		d.printf("break")
+	case *ContinueStmt:
+		d.printf("continue")
+	case *ReturnStmt:
+		d.printf("return")
+		if x.X != nil {
+			d.nested(func() { d.expr(x.X) })
+		}
+	case *SpawnStmt:
+		d.printf("spawn")
+		d.nested(func() { d.expr(x.Call) })
+	case *SyncStmt:
+		d.printf("sync")
+	default:
+		d.printf("stmt %T", s)
+	}
+}
+
+func (d *dumper) expr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		d.printf("ident %s", x.Name)
+	case *IntLit:
+		d.printf("int %d", x.Val)
+	case *StrLit:
+		d.printf("string %q", x.Val)
+	case *UnaryExpr:
+		d.printf("unary %s", x.Op)
+		d.nested(func() { d.expr(x.X) })
+	case *BinaryExpr:
+		d.printf("binary %s", x.Op)
+		d.nested(func() {
+			d.expr(x.X)
+			d.expr(x.Y)
+		})
+	case *CondExpr:
+		d.printf("cond ?:")
+		d.nested(func() {
+			d.expr(x.Cond)
+			d.expr(x.Then)
+			d.expr(x.Else)
+		})
+	case *IndexExpr:
+		d.printf("index")
+		d.nested(func() {
+			d.expr(x.X)
+			d.expr(x.Index)
+		})
+	case *CallExpr:
+		d.printf("call %s", x.Fun.Name)
+		d.nested(func() {
+			for _, a := range x.Args {
+				d.expr(a)
+			}
+		})
+	default:
+		d.printf("expr %T", e)
+	}
+}
+
+var _ = token.EOF // token is used for the Kind formatting of AssignStmt.Op

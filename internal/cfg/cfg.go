@@ -1,0 +1,135 @@
+// Package cfg builds control-flow graphs over ir functions.
+//
+// A Graph partitions a function's instructions into basic blocks and adds
+// a single virtual exit block that every OpRet edges to, so post-dominance
+// is well defined even with multiple returns. Blocks that sit on infinite
+// loops (no path to any return) simply have no path to the exit block;
+// the dominance package treats them as having no post-dominator.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"alchemist/internal/ir"
+)
+
+// Block is a basic block: instructions [Start, End) of the function.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Graph is the CFG of one function. Block 0 is the entry block; the block
+// with ID Exit is the virtual exit (Start == End == len(code)).
+type Graph struct {
+	Fn     *ir.Func
+	Blocks []*Block
+	Exit   int
+	// blockOf maps each instruction index to its block ID.
+	blockOf []int
+}
+
+// BlockOf returns the block containing instruction idx.
+func (g *Graph) BlockOf(idx int) *Block { return g.Blocks[g.blockOf[idx]] }
+
+// New builds the CFG for fn.
+func New(fn *ir.Func) *Graph {
+	n := len(fn.Code)
+	if n == 0 {
+		g := &Graph{Fn: fn}
+		exit := &Block{ID: 0}
+		g.Blocks = []*Block{exit}
+		g.Exit = 0
+		return g
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range fn.Code {
+		in := &fn.Code[i]
+		switch in.Op {
+		case ir.OpJmp:
+			leader[in.Targets[0]] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpBr:
+			leader[in.Targets[0]] = true
+			leader[in.Targets[1]] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpRet:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &Graph{Fn: fn, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.blockOf[j] = b.ID
+			}
+			start = i
+		}
+	}
+	exit := &Block{ID: len(g.Blocks), Start: n, End: n}
+	g.Blocks = append(g.Blocks, exit)
+	g.Exit = exit.ID
+
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit || b.Start == b.End {
+			continue
+		}
+		last := &fn.Code[b.End-1]
+		switch last.Op {
+		case ir.OpJmp:
+			addEdge(b.ID, g.blockOf[last.Targets[0]])
+		case ir.OpBr:
+			addEdge(b.ID, g.blockOf[last.Targets[0]])
+			t1 := g.blockOf[last.Targets[1]]
+			if len(b.Succs) == 0 || b.Succs[0] != t1 {
+				addEdge(b.ID, t1)
+			} else {
+				// Both arms target the same block; keep a single edge.
+				addEdge(b.ID, t1)
+			}
+		case ir.OpRet:
+			addEdge(b.ID, g.Exit)
+		default:
+			if b.End < n {
+				addEdge(b.ID, g.blockOf[b.End])
+			} else {
+				addEdge(b.ID, g.Exit)
+			}
+		}
+	}
+	return g
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s:\n", g.Fn.Name)
+	for _, b := range g.Blocks {
+		tag := ""
+		if b.ID == g.Exit {
+			tag = " (exit)"
+		}
+		fmt.Fprintf(&sb, "  B%d [%d,%d)%s -> %v\n", b.ID, b.Start, b.End, tag, b.Succs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/cfg"
+	"alchemist/internal/compile"
+	"alchemist/internal/ir"
+)
+
+func buildFunc(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	prog, err := compile.Build("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FindFunc(name)
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func TestStraightLine(t *testing.T) {
+	f := buildFunc(t, `int main() { int a = 1; int b = 2; return a + b; }`, "main")
+	g := cfg.New(f)
+	// The body block plus the unreachable implicit-return tail the
+	// compiler emits after the explicit return, plus the virtual exit.
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d: %s", len(g.Blocks), g)
+	}
+	body := g.BlockOf(0)
+	if body.Start != 0 {
+		t.Errorf("body span [%d,%d)", body.Start, body.End)
+	}
+	if f.Code[body.End-1].Op != ir.OpRet {
+		t.Errorf("body does not end in ret")
+	}
+	if len(body.Succs) != 1 || body.Succs[0] != g.Exit {
+		t.Errorf("succs = %v", body.Succs)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	f := buildFunc(t, `
+int main() {
+	int x = in(0);
+	int r;
+	if (x > 0) { r = 1; } else { r = 2; }
+	return r;
+}`, "main")
+	g := cfg.New(f)
+	// Find the branch block: it must have two successors.
+	var brBlock *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Start < b.End && f.Code[b.End-1].Op == ir.OpBr {
+			brBlock = b
+		}
+	}
+	if brBlock == nil {
+		t.Fatal("no branch block")
+	}
+	if len(brBlock.Succs) != 2 {
+		t.Fatalf("branch succs = %v", brBlock.Succs)
+	}
+	// Both arms converge on the return block.
+	a, b := g.Blocks[brBlock.Succs[0]], g.Blocks[brBlock.Succs[1]]
+	if len(a.Succs) != 1 || len(b.Succs) != 1 || a.Succs[0] != b.Succs[0] {
+		t.Errorf("arms do not converge: %v vs %v", a.Succs, b.Succs)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	f := buildFunc(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 3; i++) { s += i; }
+	return s;
+}`, "main")
+	g := cfg.New(f)
+	// There must be a back edge: some block whose successor has a lower
+	// or equal start.
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if g.Blocks[s].Start <= b.Start && b.Start < b.End {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("no back edge found in loop CFG")
+	}
+}
+
+func TestMultipleReturnsEdgeToExit(t *testing.T) {
+	f := buildFunc(t, `
+int f(int x) {
+	if (x > 0) { return 1; }
+	return 2;
+}
+int main() { return f(in(0)); }`, "f")
+	g := cfg.New(f)
+	preds := g.Blocks[g.Exit].Preds
+	if len(preds) < 2 {
+		t.Errorf("exit preds = %v, want >= 2 (one per return)", preds)
+	}
+}
+
+func TestBlockOfConsistency(t *testing.T) {
+	f := buildFunc(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 3; i++) {
+		if (i % 2 == 0) { s += i; } else { s -= i; }
+	}
+	return s;
+}`, "main")
+	g := cfg.New(f)
+	for i := range f.Code {
+		b := g.BlockOf(i)
+		if i < b.Start || i >= b.End {
+			t.Fatalf("instruction %d mapped to block [%d,%d)", i, b.Start, b.End)
+		}
+	}
+	// Every non-exit block has at least one successor and all edges are
+	// symmetric with Preds.
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit {
+			continue
+		}
+		if b.Start < b.End && len(b.Succs) == 0 {
+			t.Errorf("block %d has no successors", b.ID)
+		}
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range g.Blocks[s].Preds {
+				if p == b.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from preds", b.ID, s)
+			}
+		}
+	}
+}
+
+func TestEmptyFunc(t *testing.T) {
+	g := cfg.New(&ir.Func{Name: "empty"})
+	if len(g.Blocks) != 1 || g.Exit != 0 {
+		t.Errorf("empty function CFG: %s", g)
+	}
+}
+
+func TestString(t *testing.T) {
+	f := buildFunc(t, `int main() { return 0; }`, "main")
+	s := cfg.New(f).String()
+	if !strings.Contains(s, "cfg main") || !strings.Contains(s, "(exit)") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,633 @@
+package core_test
+
+import (
+	"testing"
+
+	"alchemist/internal/core"
+	"alchemist/internal/indexing"
+	"alchemist/internal/vm"
+)
+
+func profile(t *testing.T, src string, opts core.Options) *core.Profile {
+	t.Helper()
+	p, _, err := core.ProfileSource("test.mc", src, vm.Config{}, opts)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return p
+}
+
+func profileDefault(t *testing.T, src string) *core.Profile {
+	return profile(t, src, core.DefaultOptions())
+}
+
+func TestFunctionConstructCounts(t *testing.T) {
+	src := `
+int g;
+void f() { g = g + 1; }
+int main() {
+	f();
+	f();
+	f();
+	return 0;
+}`
+	p := profileDefault(t, src)
+	f := p.ConstructForFunc("f")
+	if f == nil {
+		t.Fatal("no construct for f")
+	}
+	if f.Instances != 3 {
+		t.Errorf("f instances = %d, want 3", f.Instances)
+	}
+	if f.Kind != indexing.KindFunc {
+		t.Errorf("f kind = %v", f.Kind)
+	}
+	m := p.ConstructForFunc("main")
+	if m == nil || m.Instances != 1 {
+		t.Fatalf("main construct %+v", m)
+	}
+	if m.Ttotal <= f.Ttotal {
+		t.Errorf("main Ttotal %d should exceed f Ttotal %d", m.Ttotal, f.Ttotal)
+	}
+}
+
+func TestLoopIterationsAreInstances(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int i = 0;
+	while (i < 10) {
+		g = g + i;
+		i++;
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	// The while loop is the only loop construct.
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loop = c
+			break
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop construct found")
+	}
+	if loop.Instances != 10 {
+		t.Errorf("loop instances = %d, want 10 (one per iteration)", loop.Instances)
+	}
+}
+
+// TestCrossIterationRAW mirrors the paper's core scenario: a value
+// written in one iteration and read in the next is a cross-boundary
+// dependence for the loop but internal to the function.
+func TestCrossIterationRAW(t *testing.T) {
+	src := `
+int acc;
+int main() {
+	for (int i = 0; i < 20; i++) {
+		acc = acc + i;
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loop = c
+			break
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop construct")
+	}
+	raws := 0
+	for _, e := range loop.Edges {
+		if e.Type == core.RAW {
+			raws++
+		}
+	}
+	if raws == 0 {
+		t.Fatalf("loop should carry a RAW edge on acc; edges: %+v", loop.Edges)
+	}
+	// The dependence is internal to main: main's profile must not list it
+	// as a cross-boundary edge, because main never completes before the
+	// accesses.
+	m := p.ConstructForFunc("main")
+	for _, e := range m.Edges {
+		if e.Type == core.RAW {
+			t.Fatalf("main should have no cross-boundary RAW edges, got %+v", e)
+		}
+	}
+	// Cross-iteration distance is tiny compared to nothing: it violates.
+	if v := loop.ViolatingEdges(core.RAW); len(v) == 0 {
+		t.Error("cross-iteration RAW should violate the loop's duration")
+	}
+}
+
+// TestIndependentIterationsNoViolation is the parallelizable-loop case:
+// iterations write disjoint array cells, so the loop has no violating RAW
+// edges.
+func TestIndependentIterationsNoViolation(t *testing.T) {
+	src := `
+int a[64];
+int main() {
+	for (int i = 0; i < 64; i++) {
+		a[i] = i * 3;
+	}
+	int s = 0;
+	for (int i = 0; i < 64; i++) {
+		s += a[i];
+	}
+	out(s);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	// First loop (the writer): no RAW edge should have it as a violating
+	// construct, since each cell is written once and read much later.
+	var loops []*core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loops = append(loops, c)
+		}
+	}
+	if len(loops) != 2 {
+		t.Fatalf("want 2 loop constructs, got %d", len(loops))
+	}
+	for _, l := range loops {
+		for _, e := range l.ViolatingEdges(core.RAW) {
+			// Reads in loop 2 happen >= one full loop after the writes;
+			// the only short-distance deps would be spurious.
+			t.Errorf("unexpected violating RAW edge %+v on loop at %s", e, l.Pos)
+		}
+	}
+}
+
+// TestFig4cIndexing replays the paper's Fig. 4(c): nested while loops.
+// The dependence between s4/s5 across outer iterations must land on both
+// loop constructs but not on the procedure.
+func TestFig4cIndexing(t *testing.T) {
+	src := `
+int x;
+int limit;
+void D() {
+	int i = 0;
+	while (i < 3) {
+		x = x + 1;
+		int j = 0;
+		while (j < 2) {
+			x = x + 2;
+			j++;
+		}
+		i++;
+	}
+}
+int main() {
+	D();
+	return 0;
+}`
+	p := profileDefault(t, src)
+	var inner, outer *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind != indexing.KindLoop {
+			continue
+		}
+		if outer == nil || c.Pos.Line < outer.Pos.Line {
+			outer, inner = c, outer
+		} else {
+			inner = c
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("expected two loop constructs")
+	}
+	if outer.Pos.Line > inner.Pos.Line {
+		outer, inner = inner, outer
+	}
+	if outer.Instances != 3 {
+		t.Errorf("outer iterations = %d, want 3", outer.Instances)
+	}
+	if inner.Instances != 6 {
+		t.Errorf("inner iterations = %d, want 6 (2 per outer iteration)", inner.Instances)
+	}
+	// x crosses both loop boundaries.
+	if len(outer.ViolatingEdges(core.RAW)) == 0 {
+		t.Error("outer loop should carry RAW edges on x")
+	}
+	if len(inner.ViolatingEdges(core.RAW)) == 0 {
+		t.Error("inner loop should carry RAW edges on x")
+	}
+	// The procedure D completes only once; no cross-boundary dep inside
+	// one call should be attributed to it.
+	d := p.ConstructForFunc("D")
+	if n := len(d.ViolatingEdges(core.RAW)); n != 0 {
+		t.Errorf("D should have no cross-boundary RAW edges, got %d", n)
+	}
+}
+
+// TestContextSensitivityInsufficient reproduces §III.B's F/i/j/A/B
+// example: four dependences with the same calling context land on four
+// different constructs.
+func TestContextSensitivityInsufficient(t *testing.T) {
+	src := `
+int withinJ;
+int acrossJ;
+int acrossI;
+int acrossF;
+void A(int i, int j) {
+	withinJ = 1;
+	if (j == 0) { acrossJ = 1; }
+	if (i == 0 && j == 0) {
+		acrossI = 1;
+		acrossF = acrossF + 1;
+	}
+}
+void B(int i, int j) {
+	int t = withinJ;
+	if (j == 1) { t = acrossJ; }
+	if (i == 1 && j == 0) { t = acrossI; }
+	if (i == 0 && j == 0) { t = acrossF; }
+	out(t);
+}
+void F() {
+	for (int i = 0; i < 2; i++) {
+		for (int j = 0; j < 2; j++) {
+			A(i, j);
+			B(i, j);
+		}
+	}
+}
+int main() {
+	F();
+	F();
+	return 0;
+}`
+	p := profileDefault(t, src)
+
+	var loops []*core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loops = append(loops, c)
+		}
+	}
+	if len(loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Pos.Line > inner.Pos.Line {
+		outer, inner = inner, outer
+	}
+
+	hasEdgeOn := func(c *core.ConstructStat, varLoad string) bool {
+		// Identify edges by the tail's source line: B's reads are each on
+		// a distinct line.
+		for _, e := range c.Edges {
+			if e.Type != core.RAW {
+				continue
+			}
+			line := p.Program.File.Line(e.TailPos.Line)
+			if len(line) > 0 && contains(line, varLoad) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Case 1: within the same j iteration -> attributed to A (procedure)
+	// but NOT to the j loop.
+	aProc := p.ConstructForFunc("A")
+	if !hasEdgeOn(aProc, "withinJ") {
+		t.Error("A should carry the within-iteration dep on withinJ")
+	}
+	if hasEdgeOn(inner, "withinJ") {
+		t.Error("inner loop must not carry the within-iteration dep on withinJ")
+	}
+	// Case 2: crosses the j loop but not the i loop.
+	if !hasEdgeOn(inner, "acrossJ") {
+		t.Error("inner loop should carry the cross-j dep on acrossJ")
+	}
+	if hasEdgeOn(outer, "acrossJ") {
+		t.Error("outer loop must not carry the cross-j dep on acrossJ")
+	}
+	// Case 3: crosses the i loop but stays within one call to F.
+	if !hasEdgeOn(outer, "acrossI") {
+		t.Error("outer loop should carry the cross-i dep on acrossI")
+	}
+	fProc := p.ConstructForFunc("F")
+	if hasEdgeOn(fProc, "acrossI") {
+		t.Error("F must not carry the cross-i dep on acrossI")
+	}
+	// Case 4: crosses calls to F.
+	if !hasEdgeOn(fProc, "acrossF") {
+		t.Error("F should carry the cross-call dep on acrossF")
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(needle) > 0 && len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestWARWAWDetection validates anti- and output-dependence profiling.
+func TestWARWAWDetection(t *testing.T) {
+	src := `
+int v;
+int sink;
+void produce() { v = 1; }
+void consume() { sink = v; }
+void overwrite() { v = 2; }
+int main() {
+	for (int r = 0; r < 5; r++) {
+		produce();
+		consume();
+		overwrite();
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	prod := p.ConstructForFunc("produce")
+	cons := p.ConstructForFunc("consume")
+	if n := prod.CountEdges(core.RAW); n == 0 {
+		t.Error("produce should have a RAW edge to consume")
+	}
+	if n := prod.CountEdges(core.WAW); n == 0 {
+		t.Error("produce should have a WAW edge to overwrite")
+	}
+	if n := cons.CountEdges(core.WAR); n == 0 {
+		t.Error("consume should have a WAR edge to overwrite")
+	}
+}
+
+func TestWARDisabled(t *testing.T) {
+	src := `
+int v;
+int s;
+int main() {
+	for (int i = 0; i < 3; i++) {
+		s = v;
+		v = i;
+	}
+	return 0;
+}`
+	opts := core.DefaultOptions()
+	opts.TrackWAR = false
+	opts.TrackWAW = false
+	p := profile(t, src, opts)
+	for _, c := range p.Constructs {
+		if n := c.CountEdges(core.WAR); n != 0 {
+			t.Errorf("WAR edges present with tracking disabled: %d", n)
+		}
+		if n := c.CountEdges(core.WAW); n != 0 {
+			t.Errorf("WAW edges present with tracking disabled: %d", n)
+		}
+	}
+}
+
+// TestRecursionAggregation checks the §III.B recursion fix: nested
+// activations must not double-count Ttotal.
+func TestRecursionAggregation(t *testing.T) {
+	src := `
+int g;
+void rec(int n) {
+	g = g + 1;
+	if (n > 0) rec(n - 1);
+}
+int main() {
+	rec(9);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	rec := p.ConstructForFunc("rec")
+	if rec.Instances != 1 {
+		t.Errorf("outermost rec instances = %d, want 1", rec.Instances)
+	}
+	m := p.ConstructForFunc("main")
+	if rec.Ttotal > m.Ttotal {
+		t.Errorf("rec Ttotal %d exceeds main %d: recursion double-counted", rec.Ttotal, m.Ttotal)
+	}
+}
+
+// TestDistances verifies Tdep is measured in executed instructions and
+// minimal distances are kept.
+func TestDistances(t *testing.T) {
+	src := `
+int v;
+int s1;
+int s2;
+void produce() { v = 7; }
+int main() {
+	produce();
+	s1 = v;
+	int i = 0;
+	while (i < 100) { i++; }
+	s2 = v;
+	return 0;
+}`
+	p := profileDefault(t, src)
+	prod := p.ConstructForFunc("produce")
+	var raw []core.Edge
+	for _, e := range prod.Edges {
+		if e.Type == core.RAW {
+			raw = append(raw, e)
+		}
+	}
+	if len(raw) != 2 {
+		t.Fatalf("want 2 static RAW edges out of produce, got %+v", raw)
+	}
+	// Edges are sorted by ascending distance: near read then far read.
+	if raw[0].MinDist >= raw[1].MinDist {
+		t.Errorf("distances not ordered: %d then %d", raw[0].MinDist, raw[1].MinDist)
+	}
+	if raw[1].MinDist < 100 {
+		t.Errorf("far read distance %d should reflect the 100-iteration delay", raw[1].MinDist)
+	}
+}
+
+// TestMinimalDistanceKept: an edge exercised many times keeps the
+// minimum.
+func TestMinimalDistanceKept(t *testing.T) {
+	src := `
+int v;
+int s;
+void produce(int d) {
+	v = d;
+	int i = 0;
+	while (i < d) { i++; }
+}
+int main() {
+	for (int k = 0; k < 2; k++) {
+		produce(k == 0 ? 500 : 5);
+		s = v;
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	prod := p.ConstructForFunc("produce")
+	var raw *core.Edge
+	for i := range prod.Edges {
+		if prod.Edges[i].Type == core.RAW {
+			raw = &prod.Edges[i]
+			break
+		}
+	}
+	if raw == nil {
+		t.Fatal("no RAW edge out of produce")
+	}
+	if raw.Count < 2 {
+		t.Errorf("edge count = %d, want >= 2", raw.Count)
+	}
+	// The second call produces a much shorter distance; MinDist must
+	// reflect it (well under the 500-iteration spin).
+	if raw.MinDist > 100 {
+		t.Errorf("MinDist = %d, want the short-distance instance", raw.MinDist)
+	}
+}
+
+// TestFutureCandidate is the paper's headline condition: a construct
+// whose RAW distances all exceed its duration is a future candidate.
+func TestFutureCandidate(t *testing.T) {
+	src := `
+int result;
+int sink;
+void work() {
+	int s = 0;
+	for (int i = 0; i < 50; i++) { s += i; }
+	result = s;
+}
+void unrelated() {
+	int s = 0;
+	for (int i = 0; i < 2000; i++) { s += i; }
+	sink = s;
+}
+int main() {
+	work();
+	unrelated();
+	int r = result;
+	out(r);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	w := p.ConstructForFunc("work")
+	if w == nil {
+		t.Fatal("no work construct")
+	}
+	var raw []core.Edge
+	for _, e := range w.Edges {
+		if e.Type == core.RAW {
+			raw = append(raw, e)
+		}
+	}
+	if len(raw) == 0 {
+		t.Fatal("work should have a RAW edge to the read of result")
+	}
+	dur := w.MeanDur()
+	for _, e := range raw {
+		if e.Violates(dur) {
+			t.Errorf("edge %+v violates dur %d; work should be a future candidate", e, dur)
+		}
+	}
+	if len(w.ViolatingEdges(core.RAW)) != 0 {
+		t.Error("work should have no violating RAW edges")
+	}
+}
+
+func TestProfileBookkeeping(t *testing.T) {
+	src := `
+int g;
+int main() {
+	for (int i = 0; i < 8; i++) {
+		if (i % 2 == 0) { g = g + 1; }
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	if p.TotalSteps == 0 {
+		t.Error("TotalSteps not recorded")
+	}
+	if p.StaticConstructs < 3 { // main, loop, if (plus the % cond chain)
+		t.Errorf("static constructs = %d, want >= 3", p.StaticConstructs)
+	}
+	if p.DynamicConstructs < 1+8+8 {
+		t.Errorf("dynamic constructs = %d, want >= 17", p.DynamicConstructs)
+	}
+	// Ranked ordering by Ttotal.
+	for i := 1; i < len(p.Constructs); i++ {
+		if p.Constructs[i-1].Ttotal < p.Constructs[i].Ttotal {
+			t.Fatal("constructs not sorted by Ttotal")
+		}
+	}
+	// Nesting counters recorded for Fig. 6(b) analysis.
+	if len(p.NestDirect) == 0 {
+		t.Error("nesting counters missing")
+	}
+}
+
+// TestPoolReuseBounded checks Theorem 1 in practice: a long loop of tiny
+// constructs must recycle pool nodes instead of growing without bound.
+func TestPoolReuseBounded(t *testing.T) {
+	src := `
+int g;
+int main() {
+	for (int i = 0; i < 20000; i++) {
+		g = g + 1;
+	}
+	return 0;
+}`
+	opts := core.DefaultOptions()
+	opts.PoolPrealloc = 64
+	p := profile(t, src, opts)
+	if p.Pool.Reused == 0 {
+		t.Error("pool never reused a node over 20000 iterations")
+	}
+	if p.Pool.Allocated > 10000 {
+		t.Errorf("pool allocated %d nodes; lazy retirement is not bounding memory", p.Pool.Allocated)
+	}
+}
+
+func TestBreakAndEarlyReturnConstructs(t *testing.T) {
+	// Early returns and breaks leave constructs open; they must be closed
+	// by the enclosing pop and not corrupt the stack.
+	src := `
+int g;
+int find(int target) {
+	for (int i = 0; i < 100; i++) {
+		g = g + 1;
+		if (i == target) { return i; }
+		if (i > 90) { break; }
+	}
+	return 0-1;
+}
+int main() {
+	out(find(5));
+	out(find(200));
+	out(find(0));
+	return 0;
+}`
+	p := profileDefault(t, src)
+	f := p.ConstructForFunc("find")
+	if f.Instances != 3 {
+		t.Errorf("find instances = %d, want 3", f.Instances)
+	}
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loop = c
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop construct")
+	}
+	// 6 iterations (run 1: 0..5) + 92 (run 2: 0..91) + 1 (run 3: i==0).
+	if loop.Instances != 6+92+1 {
+		t.Errorf("loop iterations = %d, want 99", loop.Instances)
+	}
+}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+
+	"alchemist/internal/core"
+)
+
+// TestMinMaxDurations checks the per-construct duration bounds extension:
+// a function called with very different workloads must show a wide
+// min/max spread around the mean.
+func TestMinMaxDurations(t *testing.T) {
+	src := `
+int sink;
+void work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += i; }
+	sink = s;
+}
+int main() {
+	work(5);
+	work(500);
+	work(50);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	w := p.ConstructForFunc("work")
+	if w == nil {
+		t.Fatal("work missing")
+	}
+	if w.Instances != 3 {
+		t.Fatalf("instances = %d", w.Instances)
+	}
+	if w.MinDur <= 0 || w.MaxDur <= 0 {
+		t.Fatalf("durations not tracked: min=%d max=%d", w.MinDur, w.MaxDur)
+	}
+	if w.MinDur >= w.MaxDur {
+		t.Errorf("min %d should be well below max %d", w.MinDur, w.MaxDur)
+	}
+	mean := w.MeanDur()
+	if !(w.MinDur <= mean && mean <= w.MaxDur) {
+		t.Errorf("mean %d outside [min %d, max %d]", mean, w.MinDur, w.MaxDur)
+	}
+	// The sum of instance durations is Ttotal; with 3 instances the
+	// bounds sandwich it.
+	if w.Ttotal < w.MinDur*3 || w.Ttotal > w.MaxDur*3 {
+		t.Errorf("Ttotal %d inconsistent with bounds", w.Ttotal)
+	}
+}
+
+// TestDurationsUniformLoop: iteration durations of a uniform loop are
+// near-identical.
+func TestDurationsUniformLoop(t *testing.T) {
+	src := `
+int g;
+int main() {
+	for (int i = 0; i < 50; i++) {
+		g = g + i;
+	}
+	return g;
+}`
+	p := profileDefault(t, src)
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == 1 {
+			loop = c
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop")
+	}
+	if loop.MaxDur-loop.MinDur > 2 {
+		t.Errorf("uniform loop durations spread too wide: [%d,%d]", loop.MinDur, loop.MaxDur)
+	}
+}

@@ -1,0 +1,288 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/indexing"
+	"alchemist/internal/vm"
+)
+
+// TestFig4aProcedureNesting replays paper Fig. 4(a): statements nested in
+// procedures A and B; B nested in A. The profile must show one instance
+// of each procedure construct and attribute A-to-continuation deps to A.
+func TestFig4aProcedureNesting(t *testing.T) {
+	src := `
+int s1v;
+int s2v;
+void B() {
+	s2v = s1v + 1;
+}
+void A() {
+	s1v = 1;
+	B();
+}
+int main() {
+	A();
+	out(s2v);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	a := p.ConstructForFunc("A")
+	b := p.ConstructForFunc("B")
+	if a.Instances != 1 || b.Instances != 1 {
+		t.Errorf("instances A=%d B=%d", a.Instances, b.Instances)
+	}
+	// The s1v write -> read pair is inside A (B nested in A): no
+	// cross-boundary edge on A for it. B reads s1v written by A before B
+	// started: that head is in A's still-active instance -> no edge
+	// either. The only cross edge: s2v written in B, read in main after A
+	// completes -> attributed to both B and A.
+	hasS2 := func(c *core.ConstructStat) bool {
+		for _, e := range c.Edges {
+			if e.Type == core.RAW {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasS2(b) {
+		t.Error("B should carry the s2v edge to main")
+	}
+	if !hasS2(a) {
+		t.Error("A should carry the s2v edge to main (B nested in A)")
+	}
+}
+
+// TestFig4bConditionalNesting replays Fig. 4(b): nested if constructs.
+// The inner conditional is a construct nested within the outer one.
+func TestFig4bConditionalNesting(t *testing.T) {
+	src := `
+int s3v;
+int s4v;
+int sink;
+void C(int p, int q) {
+	if (p) {
+		s3v = s3v + 1;
+		if (q) {
+			s4v = s4v + 1;
+		}
+	}
+}
+int main() {
+	for (int i = 0; i < 4; i++) {
+		C(1, i % 2);
+		sink = s3v + s4v;
+	}
+	return 0;
+}`
+	p := profileDefault(t, src)
+	var outer, inner *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind != indexing.KindCond || c.FuncName != "C" {
+			continue
+		}
+		if outer == nil {
+			outer = c
+		} else {
+			inner = c
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("expected two conditional constructs in C")
+	}
+	if outer.Pos.Line > inner.Pos.Line {
+		outer, inner = inner, outer
+	}
+	// Rule 3: conditionals push regardless of direction, so both run 4
+	// times... the inner if only executes when the outer branch is taken
+	// (always, here), so both have 4 instances.
+	if outer.Instances != 4 {
+		t.Errorf("outer if instances = %d, want 4", outer.Instances)
+	}
+	if inner.Instances != 4 {
+		t.Errorf("inner if instances = %d, want 4", inner.Instances)
+	}
+	// Nesting counters recorded the inner-in-outer relation.
+	if p.NestDirect[core.NestKey(inner.Label, outer.Label)] != 4 {
+		t.Errorf("nesting inner-in-outer = %d, want 4",
+			p.NestDirect[core.NestKey(inner.Label, outer.Label)])
+	}
+	// Cross-call s3v/s4v self-dependences land on both conditionals and
+	// the method, not only on the innermost.
+	if outer.CountEdges(core.RAW) == 0 {
+		t.Error("outer conditional lost its cross-boundary RAW edges")
+	}
+}
+
+// TestStackDepthBounded checks Theorem 1's L term: the index stack depth
+// tracks lexical nesting plus calls, not iteration counts.
+func TestStackDepthBounded(t *testing.T) {
+	src := `
+int g;
+int rec(int n) {
+	if (n == 0) { return g; }
+	for (int i = 0; i < 2; i++) {
+		g = g + i;
+	}
+	return rec(n - 1);
+}
+int main() {
+	out(rec(10));
+	for (int i = 0; i < 1000; i++) {
+		for (int j = 0; j < 3; j++) {
+			g = g + j;
+		}
+	}
+	return g;
+}`
+	prog, err := compile.Build("depth.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := core.NewProfiler(prog, 0, core.DefaultOptions())
+	m, err := vm.New(prog, vm.Config{Tracer: &depthWatcher{Profiler: prof, t: t, max: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof.Finish()
+}
+
+// depthWatcher wraps the profiler and asserts stack depth stays bounded.
+type depthWatcher struct {
+	*core.Profiler
+	t   *testing.T
+	max int
+}
+
+func (d *depthWatcher) Step(gpc int) {
+	d.Profiler.Step(gpc)
+	if d.Profiler.Depth() > d.max {
+		d.t.Fatalf("index stack depth %d exceeded bound %d", d.Profiler.Depth(), d.max)
+	}
+}
+
+// TestFinishAfterAbort: a run that traps mid-execution still yields a
+// well-formed profile (open constructs are closed at Finish).
+func TestFinishAfterAbort(t *testing.T) {
+	src := `
+int g;
+int main() {
+	for (int i = 0; i < 100; i++) {
+		g = g + i;
+		if (i == 50) {
+			int boom = 1 / (i - 50);
+			out(boom);
+		}
+	}
+	return 0;
+}`
+	prog, err := compile.Build("abort.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := core.NewProfiler(prog, 0, core.DefaultOptions())
+	m, err := vm.New(prog, vm.Config{Tracer: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected division trap")
+	}
+	p := prof.Finish()
+	if p.TotalSteps == 0 {
+		t.Error("no steps recorded")
+	}
+	mainC := p.ConstructForFunc("main")
+	if mainC == nil || mainC.Instances != 1 {
+		t.Fatalf("main construct after abort: %+v", mainC)
+	}
+	// The loop's completed iterations are all accounted.
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == indexing.KindLoop {
+			loop = c
+		}
+	}
+	if loop == nil || loop.Instances < 50 {
+		t.Errorf("loop instances after abort: %+v", loop)
+	}
+}
+
+// TestSpawnProfilesAsCall: under the profiler, spawn degenerates to a
+// call (the paper profiles the sequential program), and the spawned
+// function's construct is properly nested.
+func TestSpawnProfilesAsCall(t *testing.T) {
+	src := `
+int acc[4];
+void work(int i) {
+	for (int k = 0; k < 20; k++) {
+		acc[i] = acc[i] + k;
+	}
+}
+int main() {
+	for (int i = 0; i < 4; i++) {
+		spawn work(i);
+	}
+	sync;
+	out(acc[0] + acc[3]);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	w := p.ConstructForFunc("work")
+	if w == nil || w.Instances != 4 {
+		t.Fatalf("work construct: %+v", w)
+	}
+	// Disjoint writes: no violating RAW edges between work instances.
+	for _, e := range w.ViolatingEdges(core.RAW) {
+		headFn := p.Program.FuncAt(e.HeadPC)
+		tailFn := p.Program.FuncAt(e.TailPC)
+		if headFn != nil && tailFn != nil && headFn.Name == "work" && tailFn.Name == "work" {
+			t.Errorf("work-to-work violating RAW on disjoint cells: %+v", e)
+		}
+	}
+}
+
+// TestProfileReportIntegration smoke-tests the whole path on a program
+// using every construct kind at once.
+func TestProfileAllConstructKinds(t *testing.T) {
+	src := `
+int g[8];
+int total;
+int step(int x) {
+	return (x % 3 == 0) ? x * 2 : x + 1;
+}
+int main() {
+	int i = 0;
+	do {
+		for (int j = 0; j < 8; j++) {
+			if (j % 2 == 0 && i > 0) {
+				g[j] = g[j] + step(j);
+			}
+		}
+		while (total < i * 10) {
+			total = total + 1;
+		}
+		i++;
+	} while (i < 5);
+	out(total);
+	return 0;
+}`
+	p := profileDefault(t, src)
+	kinds := map[indexing.Kind]int{}
+	for _, c := range p.Constructs {
+		kinds[c.Kind]++
+	}
+	if kinds[indexing.KindFunc] < 2 || kinds[indexing.KindLoop] < 3 || kinds[indexing.KindCond] < 2 {
+		t.Errorf("construct kind coverage: %v", kinds)
+	}
+	text := strings.TrimSpace(p.String())
+	if !strings.Contains(text, "static") {
+		t.Errorf("String() = %q", text)
+	}
+}

@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/vm"
+)
+
+// TestReaderSlotsBoundWARRecall: with one reader slot, only the latest
+// reading PC survives until the next write, so some WAR edges vanish.
+// The reads happen inside a completed helper so the WAR edges are
+// cross-boundary (reads and the write inside one loop iteration would be
+// intra-construct and rightly invisible).
+func TestReaderSlotsBoundWARRecall(t *testing.T) {
+	src := `
+int v;
+int s1;
+int s2;
+int s3;
+void readv() {
+	s1 = v + 1;
+	s2 = v + 2;
+	s3 = v + 3;
+}
+int main() {
+	for (int i = 0; i < 10; i++) {
+		readv();
+		v = i;
+	}
+	return 0;
+}`
+	warEdges := func(slots int) int {
+		opts := core.DefaultOptions()
+		opts.ReaderSlots = slots
+		p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.ConstructForFunc("readv")
+		if r == nil {
+			t.Fatal("readv missing")
+		}
+		return r.CountEdges(core.WAR)
+	}
+	one := warEdges(1)
+	four := warEdges(4)
+	if one != 1 {
+		t.Errorf("k=1 WAR edges = %d, want exactly the latest reader", one)
+	}
+	// With 4 slots all three reading PCs are retained: the write at v=i
+	// sees three WAR heads.
+	if four != 3 {
+		t.Errorf("k=4 WAR edges = %d, want 3", four)
+	}
+}
+
+// TestNestTrackingDisabled: nesting counters can be turned off.
+func TestNestTrackingDisabled(t *testing.T) {
+	src := `
+int g;
+void f() { g = g + 1; }
+int main() {
+	for (int i = 0; i < 5; i++) { f(); }
+	return 0;
+}`
+	opts := core.Options{TrackWAR: true, TrackWAW: true, TrackNesting: false}
+	p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.NestDirect) != 0 {
+		t.Errorf("nest counters recorded despite TrackNesting=false: %d", len(p.NestDirect))
+	}
+	// The profile itself is unaffected.
+	if f := p.ConstructForFunc("f"); f == nil || f.Instances != 5 {
+		t.Errorf("profile degraded: %+v", p.ConstructForFunc("f"))
+	}
+}
+
+// TestPoolProbeOption: probe depth 1 still produces a correct profile
+// (it only affects reuse opportunities).
+func TestPoolProbeOption(t *testing.T) {
+	src := `
+int g;
+int main() {
+	for (int i = 0; i < 500; i++) { g = g + i; }
+	return g;
+}`
+	opts := core.DefaultOptions()
+	opts.PoolProbe = 1
+	opts.PoolPrealloc = 8
+	p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == 1 {
+			loop = c
+		}
+	}
+	if loop == nil || loop.Instances != 500 {
+		t.Fatalf("loop profile wrong: %+v", loop)
+	}
+}
+
+// TestProfilesIdenticalAcrossPoolSizes checks Theorem 1's actual
+// guarantee: pool size never changes durations, instance counts, or the
+// *violating* edge set. (Non-violating edges whose heads retired before
+// the tail executed may be dropped with a small pool — they satisfy
+// Tdep > Tdur by construction and cannot change any judgment.)
+func TestProfilesIdenticalAcrossPoolSizes(t *testing.T) {
+	src := `
+int v;
+int s;
+void produce() { v = v + 1; }
+int main() {
+	for (int i = 0; i < 200; i++) {
+		produce();
+		s = v;
+	}
+	return 0;
+}`
+	prog, err := compile.Build("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(prealloc int) *core.Profile {
+		opts := core.DefaultOptions()
+		opts.PoolPrealloc = prealloc
+		p, _, err := core.ProfileProgram(prog, vm.Config{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	small := run(1 << 16)
+	big := run(1 << 20)
+	if len(small.Constructs) != len(big.Constructs) {
+		t.Fatalf("construct counts differ: %d vs %d", len(small.Constructs), len(big.Constructs))
+	}
+	for i := range small.Constructs {
+		a, b := small.Constructs[i], big.Constructs[i]
+		if a.Label != b.Label || a.Ttotal != b.Ttotal || a.Instances != b.Instances {
+			t.Fatalf("construct %d differs: %+v vs %+v", i, a, b)
+		}
+		for _, ty := range []core.DepType{core.RAW, core.WAR, core.WAW} {
+			va, vb := a.ViolatingEdges(ty), b.ViolatingEdges(ty)
+			if len(va) != len(vb) {
+				t.Fatalf("violating %v edges differ on %d: %d vs %d", ty, a.Label, len(va), len(vb))
+			}
+			for j := range va {
+				if va[j] != vb[j] {
+					t.Fatalf("violating edge %d differs: %+v vs %+v", j, va[j], vb[j])
+				}
+			}
+		}
+		// The large pool may retain additional non-violating edges.
+		if len(b.Edges) < len(a.Edges) {
+			t.Fatalf("bigger pool lost edges on %d: %d vs %d", a.Label, len(b.Edges), len(a.Edges))
+		}
+	}
+}
+
+// TestSmallPoolDropsOnlyEnclosingEdges documents the Theorem 1 subtlety
+// this reproduction uncovered: with an undersized pool, an inner head
+// node can be recycled while an enclosing construct's window is still
+// live, so the Table II walk aborts early and the enclosing construct
+// loses that edge. The retired construct itself never loses a violating
+// edge, and a paper-sized pool never exhibits the effect. The small
+// pool's per-construct edges are always a subset of the large pool's.
+func TestSmallPoolDropsOnlyEnclosingEdges(t *testing.T) {
+	src := `
+int v;
+int s;
+void produce() { v = v + 1; }
+int main() {
+	for (int i = 0; i < 200; i++) {
+		produce();
+		s = v;
+	}
+	return 0;
+}`
+	run := func(prealloc int) *core.Profile {
+		opts := core.DefaultOptions()
+		opts.PoolPrealloc = prealloc
+		p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	small := run(4)
+	big := run(1 << 16)
+
+	smallEdges, bigEdges := 0, 0
+	for _, bc := range big.Constructs {
+		sc := small.Construct(bc.Label)
+		if sc == nil {
+			t.Fatalf("construct %d missing from small-pool profile", bc.Label)
+		}
+		bigEdges += len(bc.Edges)
+		smallEdges += len(sc.Edges)
+		// Subset check: every small-pool edge appears in the big-pool
+		// profile (with an equal or smaller min distance there).
+		index := map[core.EdgeKey]core.Edge{}
+		for _, e := range bc.Edges {
+			index[core.EdgeKey{HeadPC: int32(e.HeadPC), TailPC: int32(e.TailPC), Type: e.Type}] = e
+		}
+		for _, e := range sc.Edges {
+			be, ok := index[core.EdgeKey{HeadPC: int32(e.HeadPC), TailPC: int32(e.TailPC), Type: e.Type}]
+			if !ok {
+				t.Fatalf("small-pool edge %+v absent from big-pool profile", e)
+			}
+			if be.MinDist > e.MinDist {
+				t.Fatalf("big pool has larger min distance: %+v vs %+v", be, e)
+			}
+		}
+		// Per-construct self judgment is preserved: the produce construct
+		// keeps its own violating edges even at pool size 4.
+		if bc.FuncName == "produce" && bc.Kind == 0 {
+			if len(sc.ViolatingEdges(core.RAW)) != len(bc.ViolatingEdges(core.RAW)) {
+				t.Errorf("produce lost its own violating RAW edges with a small pool")
+			}
+		}
+	}
+	if smallEdges > bigEdges {
+		t.Errorf("small pool has more edges (%d) than big (%d)", smallEdges, bigEdges)
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"alchemist/internal/indexing"
+	"alchemist/internal/ir"
+	"alchemist/internal/shadow"
+	"alchemist/internal/vm"
+)
+
+// Options tune a profiling run.
+type Options struct {
+	// TrackWAR and TrackWAW enable anti- and output-dependence profiling
+	// (RAW is always on).
+	TrackWAR bool
+	TrackWAW bool
+	// ReaderSlots bounds distinct reader PCs tracked per memory word
+	// (default shadow.DefaultReaderSlots).
+	ReaderSlots int
+	// PoolPrealloc warms the construct pool with this many nodes
+	// (default 65536; the paper pre-allocates one million). Because the
+	// pool is FIFO, its size also sets how many construct completions
+	// pass before a node can be recycled; undersized pools can drop
+	// cross-boundary edges of *enclosing* constructs whose windows are
+	// still live when an inner head node gets recycled — a subtlety the
+	// paper's Theorem 1 (argued per-instance) masks with its 1M-entry
+	// pool. Violating edges of the retired construct itself are never
+	// lost.
+	PoolPrealloc int
+	// PoolProbe bounds head probing per acquisition (default 32).
+	PoolProbe int
+	// DisablePoolReuse turns lazy retirement off: every construct
+	// instance gets a fresh node, growing the index tree without bound
+	// (the baseline the Table I pool exists to avoid; ablation only).
+	DisablePoolReuse bool
+	// TrackNesting enables the direct-nesting counters needed by the
+	// Fig. 6(b) removal analysis (on by default via DefaultOptions).
+	TrackNesting bool
+	// MemWords must match the VM's flat memory size; the Profiler
+	// constructor fills it in.
+	MemWords int64
+}
+
+// DefaultOptions enables the full profile.
+func DefaultOptions() Options {
+	return Options{TrackWAR: true, TrackWAW: true, TrackNesting: true}
+}
+
+// Profiler implements vm.Tracer. Create one with NewProfiler, pass it as
+// Config.Tracer to a sequential VM, run the program, then call Finish.
+type Profiler struct {
+	prog *ir.Program
+	opts Options
+
+	time int64
+
+	// IDS: the execution index stack. frames[i] is the stack index of the
+	// i-th active procedure construct.
+	stack  []*indexing.Construct
+	frames []int
+
+	pool   *indexing.Pool
+	shadow *shadow.Memory
+
+	profiles map[int]*constructProfile
+	nest     map[uint64]int64
+	dynamic  int64
+}
+
+var _ vm.Tracer = (*Profiler)(nil)
+
+// NewProfiler builds a profiler for prog whose VM uses memWords of flat
+// memory.
+func NewProfiler(prog *ir.Program, memWords int64, opts Options) *Profiler {
+	if memWords == 0 {
+		memWords = 1 << 22
+	}
+	prealloc := opts.PoolPrealloc
+	if prealloc == 0 {
+		prealloc = 1 << 16
+	}
+	pool := indexing.NewPool(prealloc)
+	if opts.PoolProbe > 0 {
+		pool.MaxProbe = opts.PoolProbe
+	}
+	pool.DisableReuse = opts.DisablePoolReuse
+	return &Profiler{
+		prog:     prog,
+		opts:     opts,
+		pool:     pool,
+		shadow:   shadow.New(memWords, opts.ReaderSlots),
+		profiles: make(map[int]*constructProfile),
+		nest:     make(map[uint64]int64),
+	}
+}
+
+// Time returns the current timestamp (executed instructions).
+func (p *Profiler) Time() int64 { return p.time }
+
+// Depth returns the current index-stack depth (active constructs).
+func (p *Profiler) Depth() int { return len(p.stack) }
+
+// Finish snapshots the profile. The VM must have completed.
+func (p *Profiler) Finish() *Profile {
+	// Close anything still open (main's constructs are popped by
+	// ExitFunc, so this only matters for aborted runs).
+	for len(p.stack) > 0 {
+		p.popTop()
+	}
+	return finalize(p.prog, p.time, p.profiles, p.nest, p.pool.Stats(), p.shadow.Stats(), p.dynamic)
+}
+
+func (p *Profiler) profileFor(label int, kind indexing.Kind) *constructProfile {
+	cp := p.profiles[label]
+	if cp == nil {
+		cp = &constructProfile{label: label, kind: kind, edges: make(map[EdgeKey]*EdgeStat)}
+		p.profiles[label] = cp
+	}
+	return cp
+}
+
+// top returns the innermost active construct (nil only before main's
+// EnterFunc).
+func (p *Profiler) top() *indexing.Construct {
+	if len(p.stack) == 0 {
+		return nil
+	}
+	return p.stack[len(p.stack)-1]
+}
+
+// push enters a new construct instance (Table I IDS.push).
+func (p *Profiler) push(label int, kind indexing.Kind, popPC int) {
+	c := p.pool.Acquire(p.time, label, kind, popPC, p.top())
+	p.stack = append(p.stack, c)
+	p.dynamic++
+	cp := p.profileFor(label, kind)
+	cp.nesting++
+	if p.opts.TrackNesting && c.Parent != nil {
+		p.nest[NestKey(label, c.Parent.Label)]++
+	}
+}
+
+// popTop closes the innermost construct (Table I IDS.pop): record Texit,
+// aggregate the profile when the recursion counter drains, and hand the
+// node to the pool for lazy retirement.
+func (p *Profiler) popTop() {
+	n := len(p.stack) - 1
+	c := p.stack[n]
+	p.stack = p.stack[:n]
+	c.Texit = p.time
+	cp := p.profiles[c.Label]
+	cp.nesting--
+	if cp.nesting == 0 {
+		dur := c.Texit - c.Tenter
+		cp.ttotal += dur
+		cp.inst++
+		if cp.inst == 1 || dur < cp.minDur {
+			cp.minDur = dur
+		}
+		if dur > cp.maxDur {
+			cp.maxDur = dur
+		}
+	}
+	p.pool.Release(c)
+}
+
+// popDownThrough closes every construct above stack index idx and the one
+// at idx itself. Children must close before parents, so an early-closing
+// parent (a loop iteration ended by rule 4, or a returning procedure)
+// drags its still-open children with it.
+func (p *Profiler) popDownThrough(idx int) {
+	for len(p.stack) > idx {
+		p.popTop()
+	}
+}
+
+// ---------- vm.Tracer ----------
+
+// Step advances time and applies rule 5: close every construct whose
+// immediate post-dominator is this instruction.
+func (p *Profiler) Step(gpc int) {
+	p.time++
+	for n := len(p.stack); n > 0; n = len(p.stack) {
+		if p.stack[n-1].PopPC != gpc {
+			return
+		}
+		p.popTop()
+	}
+}
+
+// FuncLabel returns the construct label used for procedure constructs of
+// the function based at gpc `base`. Procedures get a negative label space
+// so a function whose first instruction is a predicate branch (label ==
+// base) cannot collide with that branch's construct.
+func FuncLabel(base int) int { return -base - 1 }
+
+// IsFuncLabel reports whether label denotes a procedure construct, and
+// returns the function's base PC.
+func IsFuncLabel(label int) (base int, ok bool) {
+	if label < 0 {
+		return -label - 1, true
+	}
+	return 0, false
+}
+
+// EnterFunc applies rule 1: open the procedure construct and remember the
+// frame boundary.
+func (p *Profiler) EnterFunc(f *ir.Func) {
+	p.frames = append(p.frames, len(p.stack))
+	p.push(FuncLabel(f.Base), indexing.KindFunc, ir.NoPopPC)
+}
+
+// ExitFunc applies rule 2, closing the procedure construct together with
+// any constructs left open by early returns.
+func (p *Profiler) ExitFunc(f *ir.Func) {
+	if len(p.frames) == 0 {
+		return
+	}
+	marker := p.frames[len(p.frames)-1]
+	p.frames = p.frames[:len(p.frames)-1]
+	p.popDownThrough(marker)
+}
+
+// Branch applies rules 3 and 4.
+func (p *Profiler) Branch(in *ir.Instr, gpc int, taken bool) {
+	if !in.IsLoopPred {
+		// Rule 3: a non-loop predicate opens a construct regardless of
+		// the direction taken; it closes at its immediate post-dominator.
+		p.push(gpc, indexing.KindCond, in.PopPC)
+		return
+	}
+	// Rule 4, restricted to taken branches: a taken loop predicate closes
+	// the previous iteration of the same loop (if one is open in this
+	// frame) and opens the next. The untaken direction leaves the last
+	// iteration to be closed by rule 5 at the loop's post-dominator.
+	if !taken {
+		return
+	}
+	frame := 0
+	if len(p.frames) > 0 {
+		frame = p.frames[len(p.frames)-1]
+	}
+	for i := len(p.stack) - 1; i > frame; i-- {
+		if p.stack[i].Label == gpc {
+			p.popDownThrough(i)
+			break
+		}
+	}
+	p.push(gpc, indexing.KindLoop, in.PopPC)
+}
+
+// Load records a read; a prior write to the same address is the head of a
+// RAW dependence ending here.
+func (p *Profiler) Load(addr int64, gpc int) {
+	node := p.top()
+	w, ok := p.shadow.Load(addr, int32(gpc), p.time, node)
+	if ok {
+		p.profileDep(RAW, w.PC, w.Node, w.Time, int32(gpc))
+	}
+}
+
+// Store records a write; the previous write is the head of a WAW
+// dependence and each read since it the head of a WAR dependence.
+func (p *Profiler) Store(addr int64, gpc int) {
+	node := p.top()
+	if !p.opts.TrackWAR && !p.opts.TrackWAW {
+		p.shadow.Store(addr, int32(gpc), p.time, node)
+		return
+	}
+	prev, hadPrev, readers := p.shadow.Store(addr, int32(gpc), p.time, node)
+	if p.opts.TrackWAW && hadPrev {
+		p.profileDep(WAW, prev.PC, prev.Node, prev.Time, int32(gpc))
+	}
+	if p.opts.TrackWAR {
+		for i := range readers {
+			r := &readers[i]
+			p.profileDep(WAR, r.PC, r.Node, r.Time, int32(gpc))
+		}
+	}
+}
+
+// profileDep is the Table II bottom-up walk: starting from the construct
+// instance that contained the dependence head, update the profile of
+// every enclosing construct that has completed (the dependence crosses
+// its boundary into its continuation) and stop at the first still-active
+// construct (for it, and all its ancestors, the dependence is internal).
+func (p *Profiler) profileDep(t DepType, headPC int32, headNode *indexing.Construct, headTime int64, tailPC int32) {
+	dist := p.time - headTime
+	key := EdgeKey{HeadPC: headPC, TailPC: tailPC, Type: t}
+	for c := headNode; c != nil && c.InWindow(headTime); c = c.Parent {
+		cp := p.profiles[c.Label]
+		if cp == nil {
+			// The node was recycled for a label we have not seen close
+			// yet; InWindow should have rejected it, but stay safe.
+			return
+		}
+		st := cp.edges[key]
+		if st == nil {
+			cp.edges[key] = &EdgeStat{MinDist: dist, Count: 1}
+		} else {
+			st.Count++
+			if dist < st.MinDist {
+				st.MinDist = dist
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"alchemist/internal/compile"
+	"alchemist/internal/ir"
+	"alchemist/internal/vm"
+)
+
+// ProfileProgram runs prog sequentially under the profiler and returns
+// the dependence profile together with the VM result.
+func ProfileProgram(prog *ir.Program, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+	if vmCfg.MemWords == 0 {
+		vmCfg.MemWords = 1 << 22
+	}
+	if opts.MemWords == 0 {
+		opts.MemWords = vmCfg.MemWords
+	}
+	prof := NewProfiler(prog, opts.MemWords, opts)
+	vmCfg.Parallel = false
+	vmCfg.Tracer = prof
+	m, err := vm.New(prog, vmCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof.Finish(), res, nil
+}
+
+// ProfileSource compiles mini-C source text and profiles it.
+func ProfileSource(name, src string, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+	prog, err := compile.Build(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ProfileProgram(prog, vmCfg, opts)
+}
+
+// RunProgram executes prog without instrumentation (the Table III "Orig."
+// configuration).
+func RunProgram(prog *ir.Program, vmCfg vm.Config) (*vm.Result, error) {
+	vmCfg.Tracer = nil
+	m, err := vm.New(prog, vmCfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,121 @@
+// Package dom computes dominator and post-dominator trees over a CFG
+// using the Cooper-Harvey-Kennedy iterative algorithm.
+//
+// Alchemist uses post-dominance to delimit constructs: a construct opened
+// by a predicate closes at the predicate's immediate post-dominator
+// (paper §III.A). Blocks with no path to the exit (infinite loops) have no
+// post-dominator; their constructs close only at function exit.
+package dom
+
+import "alchemist/internal/cfg"
+
+// Tree holds immediate-dominator links for one direction of the CFG.
+type Tree struct {
+	// Idom[b] is the immediate (post-)dominator block ID of block b, or -1
+	// for the root and for unreachable blocks.
+	Idom []int
+	root int
+}
+
+// Root returns the tree root (entry for dominators, exit for
+// post-dominators).
+func (t *Tree) Root() int { return t.root }
+
+// Dominates reports whether a (post-)dominates b (reflexively).
+func (t *Tree) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+// Dominators computes the dominator tree rooted at the entry block.
+func Dominators(g *cfg.Graph) *Tree {
+	return build(g, 0, func(b *cfg.Block) []int { return b.Preds }, func(b *cfg.Block) []int { return b.Succs })
+}
+
+// PostDominators computes the post-dominator tree rooted at the virtual
+// exit block.
+func PostDominators(g *cfg.Graph) *Tree {
+	return build(g, g.Exit, func(b *cfg.Block) []int { return b.Succs }, func(b *cfg.Block) []int { return b.Preds })
+}
+
+// build runs CHK over the graph with the given edge orientation: preds
+// returns the predecessors in the chosen direction, succs the successors
+// (used for the DFS ordering).
+func build(g *cfg.Graph, root int, preds, succs func(*cfg.Block) []int) *Tree {
+	n := len(g.Blocks)
+	// Reverse postorder from root following succs.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range succs(g.Blocks[b]) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(root)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(g.Blocks[b]) {
+				if rpoNum[p] == -1 || idom[p] == -1 {
+					continue // unreachable in this orientation
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	idom[root] = -1
+	return &Tree{Idom: idom, root: root}
+}

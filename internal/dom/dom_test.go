@@ -1,0 +1,263 @@
+package dom_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"alchemist/internal/cfg"
+	"alchemist/internal/compile"
+	"alchemist/internal/dom"
+)
+
+func graphFor(t *testing.T, src, fn string) *cfg.Graph {
+	t.Helper()
+	prog, err := compile.Build("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FindFunc(fn)
+	if f == nil {
+		t.Fatalf("no func %s", fn)
+	}
+	return cfg.New(f)
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := graphFor(t, `
+int main() {
+	int x = in(0);
+	int r;
+	if (x > 0) { r = 1; } else { r = 2; }
+	return r;
+}`, "main")
+	dt := dom.Dominators(g)
+	// Entry dominates every reachable block (the unreachable
+	// implicit-return tail after an explicit return has Idom == -1).
+	for _, b := range g.Blocks {
+		if b.ID == 0 || dt.Idom[b.ID] == -1 {
+			continue
+		}
+		if !dt.Dominates(0, b.ID) {
+			t.Errorf("entry does not dominate block %d", b.ID)
+		}
+	}
+	if dt.Root() != 0 {
+		t.Errorf("root = %d", dt.Root())
+	}
+}
+
+func TestPostDominatorsIfElse(t *testing.T) {
+	g := graphFor(t, `
+int main() {
+	int x = in(0);
+	int r = 0;
+	if (x > 0) { r = 1; } else { r = 2; }
+	r = r + 1;
+	return r;
+}`, "main")
+	pd := dom.PostDominators(g)
+	// The exit post-dominates everything.
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit {
+			continue
+		}
+		if !pd.Dominates(g.Exit, b.ID) {
+			t.Errorf("exit does not post-dominate block %d", b.ID)
+		}
+	}
+	// The branch block's immediate post-dominator is the join block (the
+	// one that starts with r = r + 1), not either arm.
+	var brBlock *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Start < b.End && len(b.Succs) == 2 {
+			brBlock = b
+		}
+	}
+	if brBlock == nil {
+		t.Fatal("no branch block")
+	}
+	ip := pd.Idom[brBlock.ID]
+	if ip == brBlock.Succs[0] || ip == brBlock.Succs[1] {
+		// The arms are non-empty here, so the ipdom must be beyond them.
+		t.Errorf("ipdom of branch is an arm (%d)", ip)
+	}
+	if ip == g.Exit {
+		t.Errorf("ipdom of branch should be the join, not the exit")
+	}
+}
+
+func TestPostDominatorsLoopWithReturn(t *testing.T) {
+	// A return inside the loop means the if's ipdom is the virtual exit.
+	g := graphFor(t, `
+int f(int n) {
+	for (int i = 0; i < n; i++) {
+		if (i == 3) { return i; }
+	}
+	return 0-1;
+}
+int main() { return f(in(0)); }`, "f")
+	pd := dom.PostDominators(g)
+	var ifBlock *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Start < b.End && len(b.Succs) == 2 {
+			// The inner if branch: one arm returns.
+			for _, s := range b.Succs {
+				sb := g.Blocks[s]
+				for _, ss := range sb.Succs {
+					if ss == g.Exit {
+						ifBlock = b
+					}
+				}
+			}
+		}
+	}
+	if ifBlock == nil {
+		t.Skip("could not isolate the if block in this lowering")
+	}
+	if ip := pd.Idom[ifBlock.ID]; ip != g.Exit {
+		t.Errorf("if-with-return ipdom = %d, want exit %d", ip, g.Exit)
+	}
+}
+
+func TestInfiniteLoopHasNoPostDominator(t *testing.T) {
+	g := graphFor(t, `
+int main() {
+	while (1) {
+		int x = in(0);
+		if (x == 0) { break; }
+	}
+	return 0;
+}`, "main")
+	pd := dom.PostDominators(g)
+	// With the break, all blocks still reach the exit; every reachable
+	// block must have a post-dominator chain ending at the exit.
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit || b.Start == b.End {
+			continue
+		}
+		seen := 0
+		for x := b.ID; x != -1 && seen < len(g.Blocks)+1; x = pd.Idom[x] {
+			seen++
+			if x == g.Exit {
+				break
+			}
+		}
+	}
+}
+
+// randomGraph builds a random connected digraph over n blocks for the
+// brute-force comparison. Block 0 is entry; block n-1 acts as exit.
+type randGraph struct {
+	n     int
+	succs [][]int
+	preds [][]int
+}
+
+func makeRandGraph(r *rand.Rand, n int) *randGraph {
+	g := &randGraph{n: n, succs: make([][]int, n), preds: make([][]int, n)}
+	addEdge := func(a, b int) {
+		g.succs[a] = append(g.succs[a], b)
+		g.preds[b] = append(g.preds[b], a)
+	}
+	// Spine guarantees the exit is reachable from every spine node.
+	for i := 0; i < n-1; i++ {
+		addEdge(i, i+1)
+	}
+	// Random extra edges.
+	extra := r.Intn(2 * n)
+	for e := 0; e < extra; e++ {
+		a, b := r.Intn(n-1), r.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	return g
+}
+
+// brutePostDominators computes post-dominator sets by the fixed-point
+// set definition.
+func brutePostDominators(g *randGraph, exit int) [][]bool {
+	n := g.n
+	pdom := make([][]bool, n)
+	for i := range pdom {
+		pdom[i] = make([]bool, n)
+		if i == exit {
+			pdom[i][i] = true
+		} else {
+			for j := range pdom[i] {
+				pdom[i][j] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if b == exit {
+				continue
+			}
+			next := make([]bool, n)
+			if len(g.succs[b]) > 0 {
+				for j := 0; j < n; j++ {
+					next[j] = true
+				}
+				for _, s := range g.succs[b] {
+					for j := 0; j < n; j++ {
+						next[j] = next[j] && pdom[s][j]
+					}
+				}
+			}
+			next[b] = true
+			for j := 0; j < n; j++ {
+				if next[j] != pdom[b][j] {
+					pdom[b] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return pdom
+}
+
+// TestPostDominatorsAgainstBruteForce cross-checks the CHK iterative
+// result against the set-based fixed point on random graphs.
+func TestPostDominatorsAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(10)
+		rg := makeRandGraph(r, n)
+
+		// Mirror into a cfg.Graph (blocks with fake spans).
+		g := &cfg.Graph{}
+		for i := 0; i < n; i++ {
+			g.Blocks = append(g.Blocks, &cfg.Block{ID: i, Start: i, End: i + 1})
+		}
+		g.Exit = n - 1
+		for a, ss := range rg.succs {
+			g.Blocks[a].Succs = append(g.Blocks[a].Succs, ss...)
+		}
+		for b, ps := range rg.preds {
+			g.Blocks[b].Preds = append(g.Blocks[b].Preds, ps...)
+		}
+
+		pd := dom.PostDominators(g)
+		want := brutePostDominators(rg, n-1)
+		for b := 0; b < n; b++ {
+			// Verify: for each pair (a, b) reachable in the reverse
+			// orientation, Dominates(a, b) must match the brute-force
+			// set membership.
+			for a := 0; a < n; a++ {
+				got := pd.Dominates(a, b)
+				if got != want[b][a] {
+					// Unreachable-from-exit blocks have degenerate
+					// brute-force sets (all true); skip them.
+					if pd.Idom[b] == -1 && b != n-1 {
+						continue
+					}
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute = %v\nsuccs=%v",
+						trial, a, b, got, want[b][a], rg.succs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package indexing implements the execution index tree and the bounded
+// construct pool of Alchemist (paper §III.A, Table I).
+//
+// Each dynamic construct instance (a procedure activation, a loop
+// iteration, or one execution of a conditional) is a node. Nodes link to
+// their enclosing construct instance via Parent, forming the execution
+// index tree. Completed nodes are not freed: dependence heads detected
+// later may still reference them. Instead they are appended to a pool and
+// lazily retired — a node may be reused only once it has been dead for at
+// least as long as its own duration, because any dependence reaching back
+// into it after that point necessarily has Tdep > Tdur and cannot change
+// the profile (paper Theorem 1).
+package indexing
+
+import "fmt"
+
+// Kind classifies a construct.
+type Kind uint8
+
+const (
+	// KindFunc is a procedure activation.
+	KindFunc Kind = iota
+	// KindLoop is one loop iteration.
+	KindLoop
+	// KindCond is one execution of a conditional (if / && / || / ?:).
+	KindCond
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFunc:
+		return "func"
+	case KindLoop:
+		return "loop"
+	case KindCond:
+		return "cond"
+	default:
+		return "?"
+	}
+}
+
+// Construct is one dynamic construct instance; a node of the execution
+// index tree.
+type Construct struct {
+	// Label is the global PC of the construct head: the function entry PC
+	// or the predicate branch PC.
+	Label int
+	// Kind classifies the construct.
+	Kind Kind
+	// Tenter is the timestamp when the instance started.
+	Tenter int64
+	// Texit is the timestamp when the instance completed, or 0 while the
+	// instance is active (reset on every acquire, per Table I line 10).
+	Texit int64
+	// Parent is the enclosing construct instance. Parents may be recycled
+	// later; consumers must re-validate with InWindow before trusting a
+	// parent's identity.
+	Parent *Construct
+	// PopPC is the global PC of the instruction that closes this
+	// construct (the predicate's immediate post-dominator), or a negative
+	// value when it closes only at function exit.
+	PopPC int
+}
+
+// InWindow reports whether the instance was live at time t, i.e. the
+// instance completed and t falls inside [Tenter, Texit). This is the
+// Table II line-7 guard: it is false for active instances (Texit == 0)
+// and, because time is monotonic, also false once the node has been
+// recycled for a later construct.
+func (c *Construct) InWindow(t int64) bool {
+	return c.Tenter <= t && t < c.Texit
+}
+
+func (c *Construct) String() string {
+	return fmt.Sprintf("%s@%d[%d,%d)", c.Kind, c.Label, c.Tenter, c.Texit)
+}
+
+// PoolStats reports pool behaviour for Theorem 1 validation and ablation.
+type PoolStats struct {
+	// Allocated is the number of nodes ever created.
+	Allocated int64
+	// Reused counts acquisitions served by recycling a retired node.
+	Reused int64
+	// Rotations counts head nodes that were probed but still too hot to
+	// retire and were moved to the tail.
+	Rotations int64
+}
+
+// Pool is the lazily-retiring construct pool of Table I. Completed nodes
+// are appended at the tail; acquisition probes from the head (the
+// longest-dead nodes) and recycles the first retirable one.
+type Pool struct {
+	free  []*Construct // ring buffer
+	head  int
+	count int
+
+	// MaxProbe bounds how many head nodes are examined per acquisition
+	// before giving up and allocating fresh (default 32).
+	MaxProbe int
+	// DisableReuse turns lazy retirement off entirely: every acquisition
+	// allocates a fresh node. This is the unbounded-index-tree baseline
+	// the paper's Table I algorithm exists to avoid; it is exposed for
+	// the ablation benchmarks.
+	DisableReuse bool
+
+	stats PoolStats
+}
+
+// NewPool creates an empty pool. Nodes are created on demand; prealloc
+// (if > 0) warms the pool with that many immediately-reusable nodes,
+// mirroring the paper's pre-allocated one-million-entry pool.
+func NewPool(prealloc int) *Pool {
+	p := &Pool{MaxProbe: 32}
+	if prealloc > 0 {
+		p.free = make([]*Construct, 0, prealloc)
+		for i := 0; i < prealloc; i++ {
+			p.free = append(p.free, &Construct{})
+			p.stats.Allocated++
+		}
+		p.count = prealloc
+	}
+	return p
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Live returns the number of nodes currently sitting in the pool.
+func (p *Pool) Live() int { return p.count }
+
+// retirable implements Table I line 4: a node may be recycled at time now
+// only if it has been dead at least as long as it was alive.
+func retirable(c *Construct, now int64) bool {
+	return now-c.Texit >= c.Texit-c.Tenter
+}
+
+func (p *Pool) popHead() *Construct {
+	c := p.free[p.head]
+	p.free[p.head] = nil
+	p.head = (p.head + 1) % len(p.free)
+	p.count--
+	return c
+}
+
+func (p *Pool) push(c *Construct) {
+	if p.count == len(p.free) {
+		// Grow the ring.
+		grown := make([]*Construct, 0, max(4, 2*len(p.free)))
+		for i := 0; i < p.count; i++ {
+			grown = append(grown, p.free[(p.head+i)%len(p.free)])
+		}
+		grown = grown[:cap(grown)]
+		p.free = grown
+		p.head = 0
+	}
+	p.free[(p.head+p.count)%len(p.free)] = c
+	p.count++
+}
+
+// Acquire returns an initialized construct node for a construct headed at
+// label, entering at time now with the given parent.
+func (p *Pool) Acquire(now int64, label int, kind Kind, popPC int, parent *Construct) *Construct {
+	var c *Construct
+	probes := p.MaxProbe
+	if probes <= 0 {
+		probes = 1
+	}
+	if p.DisableReuse {
+		probes = 0
+	}
+	for i := 0; i < probes && p.count > 0; i++ {
+		cand := p.popHead()
+		if retirable(cand, now) {
+			c = cand
+			p.stats.Reused++
+			break
+		}
+		// Still hot: rotate to the tail and try the next-oldest.
+		p.push(cand)
+		p.stats.Rotations++
+	}
+	if c == nil {
+		c = &Construct{}
+		p.stats.Allocated++
+	}
+	c.Label = label
+	c.Kind = kind
+	c.Tenter = now
+	c.Texit = 0
+	c.Parent = parent
+	c.PopPC = popPC
+	return c
+}
+
+// Release returns a completed node to the pool tail (lazy retiring: reuse
+// is attempted from the head, so a node stays referenceable as long as
+// possible).
+func (p *Pool) Release(c *Construct) { p.push(c) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

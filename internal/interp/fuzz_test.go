@@ -1,0 +1,149 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// progGen emits random but well-formed mini-C programs: straight-line
+// arithmetic, global/array state, bounded loops, conditionals, and a
+// helper function. Division and modulo use |1 guards so programs are
+// trap-free and the differential compares values, not error paths.
+type progGen struct {
+	r     *rand.Rand
+	scals []string // in-scope assignable scalar names
+	ro    []string // read-only scalars (loop induction variables)
+	depth int
+}
+
+func (g *progGen) lit() string {
+	v := g.r.Int63n(2000) - 1000
+	if v < 0 {
+		return fmt.Sprintf("(0 - %d)", -v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func (g *progGen) operand() string {
+	names := append(append([]string(nil), g.scals...), g.ro...)
+	if len(names) > 0 && g.r.Intn(3) != 0 {
+		n := names[g.r.Intn(len(names))]
+		if g.r.Intn(4) == 0 {
+			return fmt.Sprintf("arr[%s & 7]", n)
+		}
+		return n
+	}
+	return g.lit()
+}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		return g.operand()
+	}
+	a := g.expr(depth - 1)
+	b := g.expr(depth - 1)
+	switch g.r.Intn(14) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / (%s | 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% (%s | 1))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 8:
+		return fmt.Sprintf("(%s << (%s & 7))", a, b)
+	case 9:
+		return fmt.Sprintf("(%s >> (%s & 7))", a, b)
+	case 10:
+		return fmt.Sprintf("(%s < %s)", a, b)
+	case 11:
+		return fmt.Sprintf("(%s == %s)", a, b)
+	case 12:
+		return fmt.Sprintf("(%s && %s)", a, b)
+	default:
+		return fmt.Sprintf("((%s) ? (%s) : (%s))", a, b, g.expr(depth-1))
+	}
+}
+
+func (g *progGen) stmts(n, depth int, indent string) string {
+	var b strings.Builder
+	for s := 0; s < n; s++ {
+		switch g.r.Intn(6) {
+		case 0: // new scalar
+			name := fmt.Sprintf("v%d_%d", depth, len(g.scals))
+			fmt.Fprintf(&b, "%sint %s = %s;\n", indent, name, g.expr(2))
+			g.scals = append(g.scals, name)
+		case 1: // array store
+			fmt.Fprintf(&b, "%sarr[%s & 7] = %s;\n", indent, g.operand(), g.expr(2))
+		case 2: // global update
+			fmt.Fprintf(&b, "%sgacc = (gacc + %s) & 16777215;\n", indent, g.expr(2))
+		case 3: // conditional
+			fmt.Fprintf(&b, "%sif (%s) { gacc ^= %s; } else { gacc += %s; }\n",
+				indent, g.expr(1), g.expr(1), g.expr(1))
+		case 4: // bounded loop over a fresh induction variable
+			if depth < 2 {
+				iv := fmt.Sprintf("i%d_%d", depth, s)
+				fmt.Fprintf(&b, "%sfor (int %s = 0; %s < %d; %s++) {\n",
+					indent, iv, iv, 2+g.r.Intn(6), iv)
+				savedRO, savedScals := len(g.ro), len(g.scals)
+				g.ro = append(g.ro, iv)
+				b.WriteString(g.stmts(1+g.r.Intn(2), depth+1, indent+"\t"))
+				g.ro = g.ro[:savedRO]
+				g.scals = g.scals[:savedScals] // body-scoped declarations end here
+				fmt.Fprintf(&b, "%s}\n", indent)
+			} else {
+				fmt.Fprintf(&b, "%sgacc = (gacc * 31 + %s) & 16777215;\n", indent, g.operand())
+			}
+		case 5: // compound assignment on an existing scalar
+			if len(g.scals) > 0 {
+				ops := []string{"+=", "-=", "^=", "|=", "&="}
+				fmt.Fprintf(&b, "%s%s %s %s;\n", indent,
+					g.scals[g.r.Intn(len(g.scals))], ops[g.r.Intn(len(ops))], g.expr(1))
+			} else {
+				fmt.Fprintf(&b, "%sgacc += %s;\n", indent, g.expr(1))
+			}
+		}
+	}
+	return b.String()
+}
+
+func (g *progGen) program() string {
+	var b strings.Builder
+	b.WriteString("int gacc;\nint arr[8];\n")
+	b.WriteString("int mix(int a, int b) { return (a * 31 + b) & 16777215; }\n")
+	b.WriteString("int main() {\n")
+	g.scals = nil
+	g.ro = nil
+	b.WriteString(g.stmts(6+g.r.Intn(8), 0, "\t"))
+	b.WriteString("\tgacc = mix(gacc, arr[0] + arr[7]);\n")
+	b.WriteString("\tout(gacc);\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "\tout(arr[%d]);\n", i)
+	}
+	b.WriteString("\treturn gacc & 255;\n}\n")
+	return b.String()
+}
+
+// TestDifferentialRandomPrograms generates random programs and checks
+// the compile+VM pipeline against the reference interpreter.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	const trials = 150
+	for seed := int64(0); seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(seed))}
+		src := g.program()
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			differential(t, src, nil, 0)
+		})
+	}
+}

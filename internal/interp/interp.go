@@ -1,0 +1,587 @@
+// Package interp is a direct tree-walking evaluator for mini-C, used as
+// the reference semantics in differential tests: whatever the
+// compile+VM pipeline produces must match what this interpreter
+// computes. It deliberately shares no code with the compiler or VM —
+// arrays are Go slices, scalars are plain int64 variables — so a bug
+// must be made in two unrelated implementations to go unnoticed.
+//
+// It implements sequential semantics only (spawn = call, sync = no-op),
+// which is also the behaviour the profiler observes.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alchemist/internal/ast"
+	"alchemist/internal/parser"
+	"alchemist/internal/sema"
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+// Config parameterizes an interpretation.
+type Config struct {
+	Input     []int64
+	Out       io.Writer
+	Seed      uint64
+	StepLimit int64 // statements+expressions budget; 0 = default 500M
+}
+
+// Result mirrors vm.Result's observable fields.
+type Result struct {
+	Output []int64
+	Ret    int64
+}
+
+// Run parses, checks, and interprets src.
+func Run(name, src string, cfg Config) (*Result, error) {
+	file := source.NewFile(name, src)
+	var diags source.DiagList
+	prog := parser.Parse(file, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	info := sema.Check(prog, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return RunChecked(info, cfg)
+}
+
+// RunChecked interprets an already-checked program.
+func RunChecked(info *sema.Info, cfg Config) (*Result, error) {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = 500_000_000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	in := &interp{
+		info:    info,
+		cfg:     cfg,
+		globals: map[*sema.Symbol]*value{},
+		rng:     seed,
+	}
+	for _, g := range info.Globals {
+		v := &value{}
+		if g.Kind == sema.GlobalArray {
+			size, _ := sema.ConstValue(g.Decl.Size)
+			v.arr = make([]int64, size)
+		} else if g.Decl.Init != nil {
+			v.n, _ = sema.ConstValue(g.Decl.Init)
+		}
+		in.globals[g] = v
+	}
+	main := info.Funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("interp: no main")
+	}
+	ret, err := in.call(main, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: in.output, Ret: ret.n}, nil
+}
+
+// value is a scalar or an array reference.
+type value struct {
+	n   int64
+	arr []int64
+}
+
+type interp struct {
+	info    *sema.Info
+	cfg     Config
+	globals map[*sema.Symbol]*value
+	output  []int64
+	steps   int64
+	rng     uint64
+}
+
+// frame holds one activation's variables.
+type frame struct {
+	vars map[*sema.Symbol]*value
+}
+
+// control-flow signals.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type runtimeErr struct {
+	pos source.Pos
+	msg string
+}
+
+func (e *runtimeErr) Error() string {
+	return fmt.Sprintf("%s: runtime error: %s", e.pos, e.msg)
+}
+
+func (in *interp) trap(pos source.Pos, format string, args ...any) error {
+	return &runtimeErr{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+func (in *interp) tick(pos source.Pos) error {
+	in.steps++
+	if in.steps > in.cfg.StepLimit {
+		return in.trap(pos, "step limit exceeded")
+	}
+	return nil
+}
+
+func (in *interp) call(fi *sema.FuncInfo, args []*value) (*value, error) {
+	fr := &frame{vars: map[*sema.Symbol]*value{}}
+	for i, p := range fi.Params {
+		fr.vars[p] = args[i]
+	}
+	ret := &value{}
+	c, err := in.block(fi.Decl.Body, fr, ret)
+	if err != nil {
+		return nil, err
+	}
+	_ = c
+	return ret, nil
+}
+
+func (in *interp) lookup(fr *frame, sym *sema.Symbol) *value {
+	if v, ok := fr.vars[sym]; ok {
+		return v
+	}
+	if v, ok := in.globals[sym]; ok {
+		return v
+	}
+	// Block-scoped local not yet declared on this path: allocate lazily
+	// (sema guarantees declaration dominates use in well-formed
+	// programs).
+	v := &value{}
+	fr.vars[sym] = v
+	return v
+}
+
+func (in *interp) block(b *ast.BlockStmt, fr *frame, ret *value) (ctrl, error) {
+	for _, s := range b.List {
+		c, err := in.stmt(s, fr, ret)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (in *interp) stmt(s ast.Stmt, fr *frame, ret *value) (ctrl, error) {
+	if s == nil {
+		return ctrlNone, nil
+	}
+	if err := in.tick(s.Pos()); err != nil {
+		return ctrlNone, err
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return in.block(x, fr, ret)
+	case *ast.DeclStmt:
+		return ctrlNone, in.localDecl(x.Decl, fr)
+	case *ast.ExprStmt:
+		_, err := in.expr(x.X, fr)
+		return ctrlNone, err
+	case *ast.AssignStmt:
+		return ctrlNone, in.assign(x, fr)
+	case *ast.IfStmt:
+		cond, err := in.expr(x.Cond, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond.n != 0 {
+			return in.stmt(x.Then, fr, ret)
+		}
+		if x.Else != nil {
+			return in.stmt(x.Else, fr, ret)
+		}
+		return ctrlNone, nil
+	case *ast.WhileStmt:
+		for {
+			cond, err := in.expr(x.Cond, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cond.n == 0 {
+				return ctrlNone, nil
+			}
+			c, err := in.stmt(x.Body, fr, ret)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			// ctrlContinue and ctrlNone both reach the post statement.
+			if x.Post != nil {
+				if c2, err := in.stmt(x.Post, fr, ret); err != nil || c2 != ctrlNone {
+					return c2, err
+				}
+			}
+			if err := in.tick(x.Pos()); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *ast.BreakStmt:
+		return ctrlBreak, nil
+	case *ast.ContinueStmt:
+		return ctrlContinue, nil
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			v, err := in.expr(x.X, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			*ret = *v
+		}
+		return ctrlReturn, nil
+	case *ast.SpawnStmt:
+		// Sequential semantics: spawn is a call.
+		_, err := in.expr(x.Call, fr)
+		return ctrlNone, err
+	case *ast.SyncStmt:
+		return ctrlNone, nil
+	}
+	return ctrlNone, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+func (in *interp) localDecl(d *ast.VarDecl, fr *frame) error {
+	sym := in.symbolForLocal(d, fr)
+	if sym == nil {
+		return fmt.Errorf("interp: no symbol for local %q", d.Name)
+	}
+	v := &value{}
+	switch {
+	case d.IsArray && d.Init != nil:
+		ref, err := in.expr(d.Init, fr)
+		if err != nil {
+			return err
+		}
+		v.arr = ref.arr
+	case d.IsArray:
+		size, err := in.expr(d.Size, fr)
+		if err != nil {
+			return err
+		}
+		if size.n < 0 {
+			return in.trap(d.Pos(), "invalid allocation size %d", size.n)
+		}
+		v.arr = make([]int64, size.n)
+	case d.Init != nil:
+		iv, err := in.expr(d.Init, fr)
+		if err != nil {
+			return err
+		}
+		v.n = iv.n
+	}
+	fr.vars[sym] = v
+	return nil
+}
+
+// symbolForLocal finds the symbol a declaration introduced by scanning
+// the enclosing function's locals.
+func (in *interp) symbolForLocal(d *ast.VarDecl, fr *frame) *sema.Symbol {
+	for _, fi := range in.info.Funcs {
+		for _, l := range fi.Locals {
+			if l.Decl == d {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+func (in *interp) assign(a *ast.AssignStmt, fr *frame) error {
+	rhs, err := in.expr(a.RHS, fr)
+	if err != nil {
+		return err
+	}
+	apply := func(cur int64) (int64, error) {
+		if a.Op == token.Assign {
+			return rhs.n, nil
+		}
+		return in.binop(token.BinaryForAssign(a.Op), cur, rhs.n, a.LHS.Pos())
+	}
+	switch lhs := a.LHS.(type) {
+	case *ast.Ident:
+		sym := in.info.Uses[lhs]
+		v := in.lookup(fr, sym)
+		if sym.Kind.IsArray() {
+			v.arr = rhs.arr
+			return nil
+		}
+		nv, err := apply(v.n)
+		if err != nil {
+			return err
+		}
+		v.n = nv
+		return nil
+	case *ast.IndexExpr:
+		base := in.info.Uses[lhs.X.(*ast.Ident)]
+		arr := in.lookup(fr, base).arr
+		idx, err := in.expr(lhs.Index, fr)
+		if err != nil {
+			return err
+		}
+		if idx.n < 0 || idx.n >= int64(len(arr)) {
+			return in.trap(lhs.Pos(), "index %d out of range [0,%d)", idx.n, len(arr))
+		}
+		nv, err := apply(arr[idx.n])
+		if err != nil {
+			return err
+		}
+		arr[idx.n] = nv
+		return nil
+	}
+	return fmt.Errorf("interp: bad assignment target")
+}
+
+func (in *interp) binop(op token.Kind, a, b int64, pos source.Pos) (int64, error) {
+	switch op {
+	case token.Plus:
+		return a + b, nil
+	case token.Minus:
+		return a - b, nil
+	case token.Star:
+		return a * b, nil
+	case token.Slash:
+		if b == 0 {
+			return 0, in.trap(pos, "division by zero")
+		}
+		return a / b, nil
+	case token.Percent:
+		if b == 0 {
+			return 0, in.trap(pos, "modulo by zero")
+		}
+		return a % b, nil
+	case token.Amp:
+		return a & b, nil
+	case token.Or:
+		return a | b, nil
+	case token.Xor:
+		return a ^ b, nil
+	case token.Shl:
+		return a << (uint64(b) & 63), nil
+	case token.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case token.Eq:
+		return b2i(a == b), nil
+	case token.Ne:
+		return b2i(a != b), nil
+	case token.Lt:
+		return b2i(a < b), nil
+	case token.Le:
+		return b2i(a <= b), nil
+	case token.Gt:
+		return b2i(a > b), nil
+	case token.Ge:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("interp: bad binary op %v", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (in *interp) expr(e ast.Expr, fr *frame) (*value, error) {
+	if err := in.tick(e.Pos()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return &value{n: x.Val}, nil
+	case *ast.Ident:
+		return in.lookup(fr, in.info.Uses[x]), nil
+	case *ast.UnaryExpr:
+		v, err := in.expr(x.X, fr)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case token.Minus:
+			return &value{n: -v.n}, nil
+		case token.Tilde:
+			return &value{n: ^v.n}, nil
+		case token.Not:
+			return &value{n: b2i(v.n == 0)}, nil
+		}
+		return nil, fmt.Errorf("interp: bad unary %v", x.Op)
+	case *ast.BinaryExpr:
+		if x.Op == token.LAnd || x.Op == token.LOr {
+			a, err := in.expr(x.X, fr)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == token.LAnd && a.n == 0 {
+				return &value{n: 0}, nil
+			}
+			if x.Op == token.LOr && a.n != 0 {
+				return &value{n: 1}, nil
+			}
+			b, err := in.expr(x.Y, fr)
+			if err != nil {
+				return nil, err
+			}
+			return &value{n: b2i(b.n != 0)}, nil
+		}
+		a, err := in.expr(x.X, fr)
+		if err != nil {
+			return nil, err
+		}
+		b, err := in.expr(x.Y, fr)
+		if err != nil {
+			return nil, err
+		}
+		n, err := in.binop(x.Op, a.n, b.n, x.Pos())
+		if err != nil {
+			return nil, err
+		}
+		return &value{n: n}, nil
+	case *ast.CondExpr:
+		c, err := in.expr(x.Cond, fr)
+		if err != nil {
+			return nil, err
+		}
+		if c.n != 0 {
+			return in.expr(x.Then, fr)
+		}
+		return in.expr(x.Else, fr)
+	case *ast.IndexExpr:
+		base := in.info.Uses[x.X.(*ast.Ident)]
+		arr := in.lookup(fr, base).arr
+		idx, err := in.expr(x.Index, fr)
+		if err != nil {
+			return nil, err
+		}
+		if idx.n < 0 || idx.n >= int64(len(arr)) {
+			return nil, in.trap(x.Pos(), "index %d out of range [0,%d)", idx.n, len(arr))
+		}
+		return &value{n: arr[idx.n]}, nil
+	case *ast.CallExpr:
+		return in.callExpr(x, fr)
+	case *ast.StrLit:
+		return nil, fmt.Errorf("interp: string outside print")
+	}
+	return nil, fmt.Errorf("interp: unsupported expression %T", e)
+}
+
+func (in *interp) callExpr(call *ast.CallExpr, fr *frame) (*value, error) {
+	if b, ok := in.info.CalleeBuiltin[call]; ok {
+		return in.builtin(call, b, fr)
+	}
+	fi := in.info.CalleeFunc[call]
+	args := make([]*value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := in.expr(a, fr)
+		if err != nil {
+			return nil, err
+		}
+		// Scalars pass by value; arrays share the backing slice.
+		if v.arr != nil {
+			args[i] = &value{arr: v.arr}
+		} else {
+			args[i] = &value{n: v.n}
+		}
+	}
+	return in.call(fi, args)
+}
+
+func (in *interp) builtin(call *ast.CallExpr, b sema.Builtin, fr *frame) (*value, error) {
+	switch b {
+	case sema.BuiltinPrint:
+		var sb strings.Builder
+		for _, a := range call.Args {
+			if s, ok := a.(*ast.StrLit); ok {
+				sb.WriteString(s.Val)
+				continue
+			}
+			v, err := in.expr(a, fr)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&sb, "%d", v.n)
+		}
+		sb.WriteByte('\n')
+		io.WriteString(in.cfg.Out, sb.String())
+		return &value{}, nil
+	case sema.BuiltinLen:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		return &value{n: int64(len(v.arr))}, nil
+	case sema.BuiltinAlloc:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		if v.n < 0 {
+			return nil, in.trap(call.Pos(), "invalid allocation size %d", v.n)
+		}
+		return &value{arr: make([]int64, v.n)}, nil
+	case sema.BuiltinRand:
+		x := in.rng
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		in.rng = x
+		return &value{n: int64(x >> 1)}, nil
+	case sema.BuiltinSrand:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		in.rng = uint64(v.n) | 1
+		return &value{}, nil
+	case sema.BuiltinIn:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		if v.n < 0 || v.n >= int64(len(in.cfg.Input)) {
+			return nil, in.trap(call.Pos(), "in(%d) out of range", v.n)
+		}
+		return &value{n: in.cfg.Input[v.n]}, nil
+	case sema.BuiltinInLen:
+		return &value{n: int64(len(in.cfg.Input))}, nil
+	case sema.BuiltinOut:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		in.output = append(in.output, v.n)
+		return &value{}, nil
+	case sema.BuiltinAssert:
+		v, err := in.expr(call.Args[0], fr)
+		if err != nil {
+			return nil, err
+		}
+		if v.n == 0 {
+			return nil, in.trap(call.Pos(), "assertion failed")
+		}
+		return &value{}, nil
+	}
+	return nil, fmt.Errorf("interp: unknown builtin %d", b)
+}

@@ -1,0 +1,227 @@
+package interp_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/interp"
+	"alchemist/internal/progs"
+	"alchemist/internal/vm"
+)
+
+// runVM executes src through the compile+VM pipeline.
+func runVM(t *testing.T, src string, input []int64, memWords int64, out *bytes.Buffer) (*vm.Result, error) {
+	t.Helper()
+	prog, err := compile.Build("d.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var w = vm.Config{Input: input, MemWords: memWords, StepLimit: 500_000_000}
+	if out != nil {
+		w.Out = out
+	}
+	m, err := vm.New(prog, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+// differential asserts the VM and the reference interpreter agree on
+// output, return value, and print text.
+func differential(t *testing.T, src string, input []int64, memWords int64) {
+	t.Helper()
+	var vmOut, inOut bytes.Buffer
+	vmRes, vmErr := runVM(t, src, input, memWords, &vmOut)
+	inRes, inErr := interp.Run("d.mc", src, interp.Config{Input: input, Out: &inOut})
+	if (vmErr == nil) != (inErr == nil) {
+		t.Fatalf("error disagreement: vm=%v interp=%v", vmErr, inErr)
+	}
+	if vmErr != nil {
+		return // both trapped; messages may differ in position detail
+	}
+	if !reflect.DeepEqual(vmRes.Output, inRes.Output) {
+		t.Fatalf("out() streams differ:\n  vm     %v\n  interp %v", vmRes.Output, inRes.Output)
+	}
+	if vmRes.Ret != inRes.Ret {
+		t.Fatalf("return values differ: vm %d, interp %d", vmRes.Ret, inRes.Ret)
+	}
+	if vmOut.String() != inOut.String() {
+		t.Fatalf("print output differs:\n  vm     %q\n  interp %q", vmOut.String(), inOut.String())
+	}
+}
+
+// TestDifferentialWorkloads: every benchmark workload agrees between the
+// two implementations.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, w := range progs.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			differential(t, w.Source, w.InputFor(w.SmallScale), w.MemWords)
+		})
+	}
+}
+
+// TestDifferentialParallelSources: the spawn/sync variants agree under
+// sequential semantics.
+func TestDifferentialParallelSources(t *testing.T) {
+	for _, w := range progs.All() {
+		if !w.HasParallel() {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			differential(t, w.ParSource, w.InputFor(w.SmallScale), w.MemWords)
+		})
+	}
+}
+
+// TestDifferentialTestdata: the standalone sample programs agree.
+func TestDifferentialTestdata(t *testing.T) {
+	cases := []struct {
+		file  string
+		input []int64
+	}{
+		{"sieve.mc", []int64{500}},
+		{"collatz.mc", []int64{300}},
+		{"matmul.mc", []int64{24}},
+		{"sort.mc", []int64{9, 3, 7, 1, 8, 2, 6, 4, 5, 0, 42, 17, 99, 23, 11}},
+	}
+	for _, tc := range cases {
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(tc.file, func(t *testing.T) {
+			differential(t, string(data), tc.input, 0)
+		})
+	}
+}
+
+// TestDifferentialLanguageCorners exercises tricky semantics on both
+// implementations.
+func TestDifferentialLanguageCorners(t *testing.T) {
+	cases := []struct {
+		name, src string
+		input     []int64
+	}{
+		{"short-circuit-effects", `
+int hits;
+int bump(int r) { hits++; return r; }
+int main() {
+	int a = bump(0) && bump(1);
+	int b = bump(1) || bump(0);
+	int c = bump(1) && bump(2);
+	int d = bump(0) || bump(0);
+	out(hits); out(a); out(b); out(c); out(d);
+	return 0;
+}`, nil},
+		{"nested-break-continue", `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 8; i++) {
+		for (int j = 0; j < 8; j++) {
+			if (j == 3) { continue; }
+			if (j == 6) { break; }
+			if (i * j > 20) { s += 100; break; }
+			s += j;
+		}
+		if (i == 7) { break; }
+	}
+	out(s);
+	return s & 255;
+}`, nil},
+		{"do-while-once", `
+int main() {
+	int n = 0;
+	do { n++; } while (0);
+	do { n += 10; } while (n < 40);
+	out(n);
+	return n;
+}`, nil},
+		{"recursion-arrays", `
+int scratch[64];
+int fill(int d, int off) {
+	if (d == 0) { return 0; }
+	scratch[off] = d;
+	return d + fill(d - 1, off + 1);
+}
+int main() {
+	out(fill(10, 0));
+	out(scratch[0] + scratch[9]);
+	return 0;
+}`, nil},
+		{"rand-determinism", `
+int main() {
+	srand(in(0));
+	int s = 0;
+	for (int i = 0; i < 20; i++) { s = (s + rand()) & 65535; }
+	out(s);
+	return 0;
+}`, []int64{98765}},
+		{"ternary-chains", `
+int cls(int x) { return x < 10 ? 0 : x < 100 ? 1 : x < 1000 ? 2 : 3; }
+int main() {
+	out(cls(5)); out(cls(50)); out(cls(500)); out(cls(5000));
+	return 0;
+}`, nil},
+		{"negative-arith", `
+int main() {
+	int a = 0 - 17;
+	out(a / 5); out(a % 5); out(a >> 1); out(a << 1); out(~a); out(-a);
+	return 0;
+}`, nil},
+		{"alloc-and-len", `
+int consume(int a[]) {
+	int s = 0;
+	for (int i = 0; i < len(a); i++) { s += a[i]; }
+	return s;
+}
+int main() {
+	int a[] = alloc(in(0));
+	for (int i = 0; i < len(a); i++) { a[i] = i * i; }
+	out(consume(a));
+	int b[5];
+	b[4] = 7;
+	out(consume(b));
+	return 0;
+}`, []int64{12}},
+		{"print-mixed", `
+int main() {
+	print("x=", 1, " y=", 0 - 2, "!");
+	print();
+	print(42);
+	return 0;
+}`, nil},
+		{"div-by-zero-trap", `
+int main() {
+	int d = in(0);
+	out(100 / d);
+	return 0;
+}`, []int64{0}},
+		{"oob-trap", `
+int a[4];
+int main() { return a[in(0)]; }`, []int64{9}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			differential(t, tc.src, tc.input, 0)
+		})
+	}
+}
+
+// TestInterpStepLimit ensures the reference interpreter cannot loop
+// forever in differential fuzzing.
+func TestInterpStepLimit(t *testing.T) {
+	_, err := interp.Run("loop.mc", `int main() { while (1) {} return 0; }`,
+		interp.Config{StepLimit: 100000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"alchemist/internal/source"
+)
+
+func TestArrayRefPackUnpack(t *testing.T) {
+	cases := []struct{ base, length int64 }{
+		{0, 0},
+		{1, 1},
+		{12345, 678},
+		{MaxMemWords, 0},
+		{0, MaxArrayLen},
+		{MaxMemWords, MaxArrayLen},
+	}
+	for _, tc := range cases {
+		r := MakeArrayRef(tc.base, tc.length)
+		if r.Base() != tc.base || r.Len() != tc.length {
+			t.Errorf("pack(%d,%d) -> (%d,%d)", tc.base, tc.length, r.Base(), r.Len())
+		}
+		if int64(r) < 0 {
+			t.Errorf("pack(%d,%d) produced a negative value", tc.base, tc.length)
+		}
+	}
+}
+
+func TestArrayRefPackUnpackProperty(t *testing.T) {
+	f := func(b, l uint64) bool {
+		base := int64(b % (MaxMemWords + 1))
+		length := int64(l % (MaxArrayLen + 1))
+		r := MakeArrayRef(base, length)
+		return r.Base() == base && r.Len() == length && int64(r) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayRefPanicsOutOfRange(t *testing.T) {
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { MakeArrayRef(-1, 0) })
+	mustPanic(func() { MakeArrayRef(0, -1) })
+	mustPanic(func() { MakeArrayRef(MaxMemWords+1, 0) })
+	mustPanic(func() { MakeArrayRef(0, MaxArrayLen+1) })
+}
+
+func twoFuncProgram() *Program {
+	f1 := &Func{Name: "a", Code: make([]Instr, 5)}
+	f2 := &Func{Name: "b", Code: make([]Instr, 3)}
+	p := &Program{Funcs: []*Func{f1, f2}}
+	p.Finalize()
+	return p
+}
+
+func TestFinalizeAssignsBases(t *testing.T) {
+	p := twoFuncProgram()
+	if p.Funcs[0].Base != 0 || p.Funcs[1].Base != 5 {
+		t.Errorf("bases = %d, %d", p.Funcs[0].Base, p.Funcs[1].Base)
+	}
+	if p.NumPCs != 8 {
+		t.Errorf("NumPCs = %d", p.NumPCs)
+	}
+	if p.Funcs[0].GPC(3) != 3 || p.Funcs[1].GPC(2) != 7 {
+		t.Error("GPC mapping wrong")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := twoFuncProgram()
+	for gpc := 0; gpc < 5; gpc++ {
+		if f := p.FuncAt(gpc); f == nil || f.Name != "a" {
+			t.Errorf("FuncAt(%d) = %v", gpc, f)
+		}
+	}
+	for gpc := 5; gpc < 8; gpc++ {
+		if f := p.FuncAt(gpc); f == nil || f.Name != "b" {
+			t.Errorf("FuncAt(%d) = %v", gpc, f)
+		}
+	}
+	if p.FuncAt(-1) != nil || p.FuncAt(8) != nil {
+		t.Error("out-of-range FuncAt should be nil")
+	}
+}
+
+func TestInstrAtAndPosOf(t *testing.T) {
+	p := twoFuncProgram()
+	file := source.NewFile("x.mc", "line1\nline2\n")
+	p.Funcs[1].Code[1].Pos = file.Pos(6)
+	in := p.InstrAt(6)
+	if in == nil || in.Pos.Line != 2 {
+		t.Errorf("InstrAt(6) = %+v", in)
+	}
+	if pos := p.PosOf(6); pos.Line != 2 {
+		t.Errorf("PosOf(6) = %v", pos)
+	}
+	if pos := p.PosOf(100); pos.IsValid() {
+		t.Error("PosOf out of range should be invalid")
+	}
+}
+
+func TestFindFunc(t *testing.T) {
+	p := twoFuncProgram()
+	if f := p.FindFunc("b"); f == nil || f.Name != "b" {
+		t.Error("FindFunc(b) failed")
+	}
+	if p.FindFunc("zzz") != nil {
+		t.Error("FindFunc(zzz) should be nil")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpAdd.String() != "add" || OpBr.String() != "br" || OpRet.String() != "ret" {
+		t.Error("op names wrong")
+	}
+	if !OpAdd.IsBinary() || !OpGe.IsBinary() {
+		t.Error("IsBinary false negatives")
+	}
+	if OpConst.IsBinary() || OpNeg.IsBinary() || OpJmp.IsBinary() {
+		t.Error("IsBinary false positives")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op must still format")
+	}
+}
+
+func TestFormatInstr(t *testing.T) {
+	callee := &Func{Name: "f"}
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, A: 1, Imm: 42}, "r1 = const 42"},
+		{Instr{Op: OpMov, A: 1, B: 2}, "r1 = r2"},
+		{Instr{Op: OpAdd, A: 0, B: 1, C: 2}, "r0 = add r1, r2"},
+		{Instr{Op: OpNeg, A: 0, B: 1}, "r0 = neg r1"},
+		{Instr{Op: OpLoadG, A: 3, Imm: 7}, "r3 = mem[7]"},
+		{Instr{Op: OpStoreG, B: 3, Imm: 7}, "mem[7] = r3"},
+		{Instr{Op: OpLoadEl, A: 1, B: 2, C: 3}, "r1 = r2[r3]"},
+		{Instr{Op: OpStoreEl, A: 1, B: 2, C: 3}, "r1[r2] = r3"},
+		{Instr{Op: OpAlloc, A: 1, B: 2}, "r1 = alloc r2"},
+		{Instr{Op: OpLen, A: 1, B: 2}, "r1 = len r2"},
+		{Instr{Op: OpCall, A: 1, Callee: callee, Args: []int{2}}, "r1 = call f [2]"},
+		{Instr{Op: OpSpawn, Callee: callee, Args: []int{2}}, "spawn f [2]"},
+		{Instr{Op: OpSync}, "sync"},
+		{Instr{Op: OpJmp, Targets: [2]int{9}}, "jmp 9"},
+		{Instr{Op: OpRet, A: -1}, "ret"},
+		{Instr{Op: OpRet, A: 2}, "ret r2"},
+		{Instr{Op: OpPrintNL}, "printnl"},
+	}
+	for _, tc := range cases {
+		if got := FormatInstr(&tc.in); got != tc.want {
+			t.Errorf("FormatInstr(%v) = %q, want %q", tc.in.Op, got, tc.want)
+		}
+	}
+	br := Instr{Op: OpBr, A: 1, Targets: [2]int{2, 3}, IsLoopPred: true, PopPC: 17}
+	if got := FormatInstr(&br); !strings.Contains(got, "loop") || !strings.Contains(got, "pop@17") {
+		t.Errorf("branch format %q lacks metadata", got)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	f := &Func{Name: "g", NParams: 1, NumRegs: 3, Code: []Instr{
+		{Op: OpConst, A: 1, Imm: 5},
+		{Op: OpRet, A: 1},
+	}}
+	text := Disassemble(f)
+	if !strings.Contains(text, "func g") || !strings.Contains(text, "ret r1") {
+		t.Errorf("disassembly:\n%s", text)
+	}
+}

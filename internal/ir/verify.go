@@ -1,0 +1,134 @@
+package ir
+
+import "fmt"
+
+// Verify checks program well-formedness: every branch target in range,
+// every register operand within the frame, call arities consistent, and
+// a terminator at the end of every function. The compiler runs it in
+// tests and the optimizer's output is verified after every pass.
+func Verify(p *Program) error {
+	if p.Main == nil {
+		return fmt.Errorf("ir: program has no main")
+	}
+	for _, f := range p.Funcs {
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	n := len(f.Code)
+	if n == 0 {
+		return fmt.Errorf("empty body")
+	}
+	if f.NParams > f.NumRegs {
+		return fmt.Errorf("NParams %d exceeds NumRegs %d", f.NParams, f.NumRegs)
+	}
+	checkReg := func(i int, r int, what string) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("instr %d: %s register r%d out of range [0,%d)", i, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	checkTarget := func(i, tgt int) error {
+		if tgt < 0 || tgt >= n {
+			return fmt.Errorf("instr %d: target %d out of range [0,%d)", i, tgt, n)
+		}
+		return nil
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case OpConst, OpPrintStr, OpPrintNL, OpSync:
+			// No register operands to validate (OpConst.A below).
+			if in.Op == OpConst {
+				if err := checkReg(i, in.A, "dst"); err != nil {
+					return err
+				}
+			}
+		case OpMov, OpNeg, OpBNot, OpLNot, OpAlloc, OpLen:
+			if err := checkReg(i, in.A, "dst"); err != nil {
+				return err
+			}
+			if err := checkReg(i, in.B, "src"); err != nil {
+				return err
+			}
+		case OpLoadG:
+			if err := checkReg(i, in.A, "dst"); err != nil {
+				return err
+			}
+		case OpStoreG, OpPrintVal:
+			if err := checkReg(i, in.B, "src"); err != nil {
+				return err
+			}
+		case OpLoadEl, OpStoreEl:
+			for _, r := range []int{in.A, in.B, in.C} {
+				if err := checkReg(i, r, "operand"); err != nil {
+					return err
+				}
+			}
+		case OpCall, OpSpawn, OpCallB:
+			if in.Op != OpCallB && in.Callee == nil {
+				return fmt.Errorf("instr %d: call without callee", i)
+			}
+			if in.Op == OpCall && in.A != -1 {
+				if err := checkReg(i, in.A, "dst"); err != nil {
+					return err
+				}
+			}
+			if in.Op == OpCallB {
+				if err := checkReg(i, in.A, "dst"); err != nil {
+					return err
+				}
+			}
+			if in.Op != OpCallB && in.Callee != nil && len(in.Args) != in.Callee.NParams {
+				return fmt.Errorf("instr %d: call to %s with %d args, want %d",
+					i, in.Callee.Name, len(in.Args), in.Callee.NParams)
+			}
+			for _, r := range in.Args {
+				if err := checkReg(i, r, "arg"); err != nil {
+					return err
+				}
+			}
+		case OpJmp:
+			if err := checkTarget(i, in.Targets[0]); err != nil {
+				return err
+			}
+		case OpBr:
+			if err := checkReg(i, in.A, "cond"); err != nil {
+				return err
+			}
+			for _, tgt := range in.Targets {
+				if err := checkTarget(i, tgt); err != nil {
+					return err
+				}
+			}
+		case OpRet:
+			if in.A >= 0 {
+				if err := checkReg(i, in.A, "ret"); err != nil {
+					return err
+				}
+			}
+		default:
+			if in.Op.IsBinary() {
+				for _, r := range []int{in.A, in.B, in.C} {
+					if err := checkReg(i, r, "operand"); err != nil {
+						return err
+					}
+				}
+				break
+			}
+			return fmt.Errorf("instr %d: unknown opcode %d", i, in.Op)
+		}
+	}
+	// The last instruction must not fall off the end.
+	last := &f.Code[n-1]
+	switch last.Op {
+	case OpRet, OpJmp, OpBr:
+	default:
+		return fmt.Errorf("function falls off the end with %s", last.Op)
+	}
+	return nil
+}

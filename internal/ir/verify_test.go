@@ -1,0 +1,110 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/ir"
+	"alchemist/internal/progs"
+)
+
+// TestVerifyAcceptsCompilerOutput: everything the compiler produces must
+// verify, optimized or not, across all workloads and testdata-style
+// programs.
+func TestVerifyAcceptsCompilerOutput(t *testing.T) {
+	for _, w := range progs.All() {
+		for _, optimize := range []bool{false, true} {
+			p, err := compile.BuildConfig(w.Name+".mc", w.Source, compile.Config{Optimize: optimize})
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if err := ir.Verify(p); err != nil {
+				t.Errorf("%s (optimize=%v): %v", w.Name, optimize, err)
+			}
+		}
+		if w.HasParallel() {
+			p, err := compile.Build(w.Name+"_par.mc", w.ParSource)
+			if err != nil {
+				t.Fatalf("%s par: %v", w.Name, err)
+			}
+			if err := ir.Verify(p); err != nil {
+				t.Errorf("%s par: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+func verifyErr(t *testing.T, p *ir.Program, want string) {
+	t.Helper()
+	err := ir.Verify(p)
+	if err == nil {
+		t.Fatalf("Verify accepted corrupt program, want error %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Verify error %q does not contain %q", err, want)
+	}
+}
+
+func validProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := compile.Build("v.mc", `
+int g;
+int f(int x) { return x + g; }
+int main() { return f(3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	// Register out of range.
+	p := validProgram(t)
+	p.Funcs[0].Code[0].A = 999
+	verifyErr(t, p, "out of range")
+
+	// Branch target out of range.
+	p = validProgram(t)
+	for fi := range p.Funcs {
+		for i := range p.Funcs[fi].Code {
+			if p.Funcs[fi].Code[i].Op == ir.OpJmp {
+				p.Funcs[fi].Code[i].Targets[0] = 10_000
+			}
+		}
+	}
+	// The sample program may have no jumps; force one corrupt branch by
+	// rewriting the first instruction.
+	p.Funcs[0].Code[0] = ir.Instr{Op: ir.OpJmp, Targets: [2]int{10_000, 0}}
+	verifyErr(t, p, "target")
+
+	// Call arity mismatch.
+	p = validProgram(t)
+	for fi := range p.Funcs {
+		for i := range p.Funcs[fi].Code {
+			if p.Funcs[fi].Code[i].Op == ir.OpCall {
+				p.Funcs[fi].Code[i].Args = nil
+			}
+		}
+	}
+	verifyErr(t, p, "args")
+
+	// Falling off the end.
+	p = validProgram(t)
+	f := p.Funcs[0]
+	f.Code = append(f.Code, ir.Instr{Op: ir.OpConst, A: 0})
+	verifyErr(t, p, "falls off the end")
+
+	// No main.
+	p = validProgram(t)
+	p.Main = nil
+	verifyErr(t, p, "no main")
+
+	// Empty body.
+	p = validProgram(t)
+	p.Funcs[0].Code = nil
+	verifyErr(t, p, "empty body")
+}

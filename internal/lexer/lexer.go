@@ -1,0 +1,388 @@
+// Package lexer turns mini-C source text into a token stream.
+//
+// The scanner is a straightforward hand-written loop. It supports //- and
+// /*-style comments, decimal and hexadecimal integer literals, character
+// literals ('a', '\n'), and string literals (used only by the print
+// builtin).
+package lexer
+
+import (
+	"strconv"
+
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+// Lexer scans a single file.
+type Lexer struct {
+	file  *source.File
+	src   string
+	pos   int // current byte offset
+	line  int
+	col   int
+	diags *source.DiagList
+}
+
+// New creates a Lexer over file, reporting problems to diags.
+func New(file *source.File, diags *source.DiagList) *Lexer {
+	return &Lexer{file: file, src: file.Content, line: 1, col: 1, diags: diags}
+}
+
+// ScanAll scans the whole file and returns every token, ending with EOF.
+func ScanAll(file *source.File, diags *source.DiagList) []token.Token {
+	lx := New(file, diags)
+	var toks []token.Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.tokenStart()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.diags.Errorf(l.file.Pos(start.Offset), "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) tokenStart() token.Token {
+	return token.Token{Offset: l.pos, Line: l.line, Col: l.col}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	t := l.tokenStart()
+	if l.pos >= len(l.src) {
+		t.Kind = token.EOF
+		return t
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		t.Text = l.src[start:l.pos]
+		if kw, ok := token.Keywords[t.Text]; ok {
+			t.Kind = kw
+		} else {
+			t.Kind = token.IDENT
+		}
+		return t
+	case isDigit(c):
+		return l.scanNumber(t)
+	case c == '\'':
+		return l.scanChar(t)
+	case c == '"':
+		return l.scanString(t)
+	}
+	return l.scanOperator(t)
+}
+
+func (l *Lexer) scanNumber(t token.Token) token.Token {
+	start := l.pos
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		t.Text = l.src[start:l.pos]
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			l.diags.Errorf(l.file.Pos(t.Offset), "invalid hex literal %q", t.Text)
+			t.Kind = token.ILLEGAL
+			return t
+		}
+		t.Kind = token.INT
+		t.Val = v
+		return t
+	}
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	t.Text = l.src[start:l.pos]
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		l.diags.Errorf(l.file.Pos(t.Offset), "invalid integer literal %q", t.Text)
+		t.Kind = token.ILLEGAL
+		return t
+	}
+	t.Kind = token.INT
+	t.Val = v
+	return t
+}
+
+func (l *Lexer) scanEscape() (byte, bool) {
+	// Caller consumed the backslash.
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}
+
+func (l *Lexer) scanChar(t token.Token) token.Token {
+	l.advance() // opening quote
+	if l.pos >= len(l.src) {
+		l.diags.Errorf(l.file.Pos(t.Offset), "unterminated character literal")
+		t.Kind = token.ILLEGAL
+		return t
+	}
+	var v byte
+	if l.peek() == '\\' {
+		l.advance()
+		e, ok := l.scanEscape()
+		if !ok {
+			l.diags.Errorf(l.file.Pos(t.Offset), "invalid escape in character literal")
+			t.Kind = token.ILLEGAL
+			return t
+		}
+		v = e
+	} else {
+		v = l.advance()
+	}
+	if l.pos >= len(l.src) || l.peek() != '\'' {
+		l.diags.Errorf(l.file.Pos(t.Offset), "unterminated character literal")
+		t.Kind = token.ILLEGAL
+		return t
+	}
+	l.advance()
+	t.Kind = token.INT
+	t.Val = int64(v)
+	t.Text = l.src[t.Offset:l.pos]
+	return t
+}
+
+func (l *Lexer) scanString(t token.Token) token.Token {
+	l.advance() // opening quote
+	var buf []byte
+	for {
+		if l.pos >= len(l.src) || l.peek() == '\n' {
+			l.diags.Errorf(l.file.Pos(t.Offset), "unterminated string literal")
+			t.Kind = token.ILLEGAL
+			return t
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, ok := l.scanEscape()
+			if !ok {
+				l.diags.Errorf(l.file.Pos(t.Offset), "invalid escape in string literal")
+				t.Kind = token.ILLEGAL
+				return t
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+	}
+	t.Kind = token.STRING
+	t.Text = string(buf)
+	return t
+}
+
+func (l *Lexer) scanOperator(t token.Token) token.Token {
+	c := l.advance()
+	two := func(second byte, with, without token.Kind) token.Kind {
+		if l.peek() == second {
+			l.advance()
+			return with
+		}
+		return without
+	}
+	switch c {
+	case '(':
+		t.Kind = token.LParen
+	case ')':
+		t.Kind = token.RParen
+	case '{':
+		t.Kind = token.LBrace
+	case '}':
+		t.Kind = token.RBrace
+	case '[':
+		t.Kind = token.LBracket
+	case ']':
+		t.Kind = token.RBracket
+	case ',':
+		t.Kind = token.Comma
+	case ';':
+		t.Kind = token.Semi
+	case '~':
+		t.Kind = token.Tilde
+	case '?':
+		t.Kind = token.Question
+	case ':':
+		t.Kind = token.Colon
+	case '+':
+		switch l.peek() {
+		case '+':
+			l.advance()
+			t.Kind = token.Inc
+		case '=':
+			l.advance()
+			t.Kind = token.PlusAssign
+		default:
+			t.Kind = token.Plus
+		}
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			t.Kind = token.Dec
+		case '=':
+			l.advance()
+			t.Kind = token.MinusAssign
+		default:
+			t.Kind = token.Minus
+		}
+	case '*':
+		t.Kind = two('=', token.StarAssign, token.Star)
+	case '/':
+		t.Kind = two('=', token.SlashAssign, token.Slash)
+	case '%':
+		t.Kind = two('=', token.PercentAssign, token.Percent)
+	case '^':
+		t.Kind = two('=', token.XorAssign, token.Xor)
+	case '!':
+		t.Kind = two('=', token.Ne, token.Not)
+	case '=':
+		t.Kind = two('=', token.Eq, token.Assign)
+	case '&':
+		switch l.peek() {
+		case '&':
+			l.advance()
+			t.Kind = token.LAnd
+		case '=':
+			l.advance()
+			t.Kind = token.AmpAssign
+		default:
+			t.Kind = token.Amp
+		}
+	case '|':
+		switch l.peek() {
+		case '|':
+			l.advance()
+			t.Kind = token.LOr
+		case '=':
+			l.advance()
+			t.Kind = token.OrAssign
+		default:
+			t.Kind = token.Or
+		}
+	case '<':
+		switch l.peek() {
+		case '<':
+			l.advance()
+			t.Kind = two('=', token.ShlAssign, token.Shl)
+		case '=':
+			l.advance()
+			t.Kind = token.Le
+		default:
+			t.Kind = token.Lt
+		}
+	case '>':
+		switch l.peek() {
+		case '>':
+			l.advance()
+			t.Kind = two('=', token.ShrAssign, token.Shr)
+		case '=':
+			l.advance()
+			t.Kind = token.Ge
+		default:
+			t.Kind = token.Gt
+		}
+	default:
+		l.diags.Errorf(l.file.Pos(t.Offset), "unexpected character %q", string(c))
+		t.Kind = token.ILLEGAL
+		t.Text = string(c)
+	}
+	if t.Text == "" {
+		t.Text = l.src[t.Offset:l.pos]
+	}
+	return t
+}

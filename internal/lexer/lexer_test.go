@@ -1,0 +1,201 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	var diags source.DiagList
+	toks := ScanAll(source.NewFile("t.mc", src), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("lex %q: %v", src, diags.Err())
+	}
+	return toks
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(scan(t, src))
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("lex %q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex %q token %d: got %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "int void if else while for do break continue return spawn sync",
+		token.KwInt, token.KwVoid, token.KwIf, token.KwElse, token.KwWhile,
+		token.KwFor, token.KwDo, token.KwBreak, token.KwContinue, token.KwReturn,
+		token.KwSpawn, token.KwSync)
+	expectKinds(t, "foo _bar baz42 intx", token.IDENT, token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % & | ^ << >> ~ ! ? :",
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Or, token.Xor, token.Shl, token.Shr,
+		token.Tilde, token.Not, token.Question, token.Colon)
+	expectKinds(t, "== != < <= > >= && ||",
+		token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge,
+		token.LAnd, token.LOr)
+	expectKinds(t, "= += -= *= /= %= &= |= ^= <<= >>= ++ --",
+		token.Assign, token.PlusAssign, token.MinusAssign, token.StarAssign,
+		token.SlashAssign, token.PercentAssign, token.AmpAssign, token.OrAssign,
+		token.XorAssign, token.ShlAssign, token.ShrAssign, token.Inc, token.Dec)
+	expectKinds(t, "( ) { } [ ] , ;",
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket, token.Comma, token.Semi)
+}
+
+func TestMaximalMunch(t *testing.T) {
+	// <<= vs << vs <, etc.
+	expectKinds(t, "a<<=b", token.IDENT, token.ShlAssign, token.IDENT)
+	expectKinds(t, "a<<b", token.IDENT, token.Shl, token.IDENT)
+	expectKinds(t, "a<b", token.IDENT, token.Lt, token.IDENT)
+	expectKinds(t, "a<=b", token.IDENT, token.Le, token.IDENT)
+	expectKinds(t, "i+++1", token.IDENT, token.Inc, token.Plus, token.INT)
+	expectKinds(t, "a&&&b", token.IDENT, token.LAnd, token.Amp, token.IDENT)
+}
+
+func TestIntLiterals(t *testing.T) {
+	toks := scan(t, "0 42 123456789 0x1F 0xff")
+	want := []int64{0, 42, 123456789, 31, 255}
+	for i, v := range want {
+		if toks[i].Kind != token.INT || toks[i].Val != v {
+			t.Errorf("literal %d: got %v val %d, want %d", i, toks[i].Kind, toks[i].Val, v)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks := scan(t, `'a' '\n' '\t' '\\' '\'' '\0'`)
+	want := []int64{'a', '\n', '\t', '\\', '\'', 0}
+	for i, v := range want {
+		if toks[i].Kind != token.INT || toks[i].Val != v {
+			t.Errorf("char %d: got val %d, want %d", i, toks[i].Val, v)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks := scan(t, `"hello" "a\nb" ""`)
+	want := []string{"hello", "a\nb", ""}
+	for i, v := range want {
+		if toks[i].Kind != token.STRING || toks[i].Text != v {
+			t.Errorf("string %d: got %q, want %q", i, toks[i].Text, v)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* block */ b", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* multi\nline\ncomment */ b", token.IDENT, token.IDENT)
+	expectKinds(t, "// only a comment") // nothing
+
+}
+
+func TestPositions(t *testing.T) {
+	toks := scan(t, "a\n  bb\n c")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d", toks[1].Line, toks[1].Col)
+	}
+	if toks[2].Line != 3 || toks[2].Col != 2 {
+		t.Errorf("c at %d:%d", toks[2].Line, toks[2].Col)
+	}
+}
+
+func lexErr(t *testing.T, src string) {
+	t.Helper()
+	var diags source.DiagList
+	ScanAll(source.NewFile("t.mc", src), &diags)
+	if !diags.HasErrors() {
+		t.Errorf("lex %q: expected error", src)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	lexErr(t, "@")
+	lexErr(t, "$x")
+	lexErr(t, `"unterminated`)
+	lexErr(t, "'a")
+	lexErr(t, "'ab'")
+	lexErr(t, `'\q'`)
+	lexErr(t, "/* unterminated")
+	lexErr(t, `"bad \q escape"`)
+}
+
+// TestTokenTextRoundTrip: for identifier/number inputs, the scanned text
+// must reproduce the input exactly.
+func TestTokenTextRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		src := "x" + string(rune('a'+n%26))
+		toks := scanQuiet(src)
+		return len(toks) == 2 && toks[0].Kind == token.IDENT && toks[0].Text == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(n uint32) bool {
+		v := int64(n % 1_000_000)
+		toks := scanQuiet(fmtInt(v))
+		return len(toks) == 2 && toks[0].Kind == token.INT && toks[0].Val == v
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func scanQuiet(src string) []token.Token {
+	var diags source.DiagList
+	return ScanAll(source.NewFile("q.mc", src), &diags)
+}
+
+func fmtInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestNoPanicsOnArbitraryInput fuzzes the lexer with random bytes; it
+// must report errors via diagnostics, never panic, and always terminate
+// with EOF.
+func TestNoPanicsOnArbitraryInput(t *testing.T) {
+	f := func(data []byte) bool {
+		var diags source.DiagList
+		toks := ScanAll(source.NewFile("fuzz.mc", string(data)), &diags)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package opt implements optional IR optimization passes: block-local
+// constant folding/propagation and unreachable-code elimination.
+//
+// The profiler does not require optimized code — timestamps are VM
+// instruction counts either way — but optimization models the gap between
+// -O0 and -O2 binaries that a Valgrind-based profiler confronts: folded
+// code executes fewer instructions, so all Tdur/Tdep values shrink
+// together while the Tdep > Tdur comparisons are largely preserved.
+//
+// Passes deliberately never remove or rewrite conditional branches:
+// predicates delimit constructs (paper §III.A), and folding a constant
+// loop predicate into a jump would erase the loop construct from the
+// profile. Run the passes before ir.Program.Finalize so global PCs and
+// post-dominator annotations are computed on the final code.
+package opt
+
+import "alchemist/internal/ir"
+
+// Stats reports what the passes changed.
+type Stats struct {
+	// Folded counts instructions rewritten to OpConst or simplified.
+	Folded int
+	// RemovedUnreachable counts deleted instructions.
+	RemovedUnreachable int
+}
+
+// Program optimizes every function in place. Must be called before
+// Finalize/annotation.
+func Program(p *ir.Program) Stats {
+	var st Stats
+	for _, f := range p.Funcs {
+		st.Folded += foldConstants(f)
+		st.RemovedUnreachable += removeUnreachable(f)
+	}
+	return st
+}
+
+// foldConstants tracks constant registers within each basic block and
+// rewrites computations whose operands are all known.
+func foldConstants(f *ir.Func) int {
+	n := len(f.Code)
+	if n == 0 {
+		return 0
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpJmp:
+			leader[in.Targets[0]] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpBr:
+			leader[in.Targets[0]] = true
+			leader[in.Targets[1]] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpRet:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	known := make([]bool, f.NumRegs)
+	val := make([]int64, f.NumRegs)
+	reset := func() {
+		for i := range known {
+			known[i] = false
+		}
+	}
+	folded := 0
+	setConst := func(in *ir.Instr, dst int, v int64) {
+		if in.Op != ir.OpConst || in.Imm != v {
+			in.Op = ir.OpConst
+			in.A = dst
+			in.Imm = v
+			folded++
+		}
+		known[dst] = true
+		val[dst] = v
+	}
+	kill := func(r int) {
+		if r >= 0 && r < len(known) {
+			known[r] = false
+		}
+	}
+
+	for i := range f.Code {
+		if leader[i] {
+			reset()
+		}
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpConst:
+			known[in.A] = true
+			val[in.A] = in.Imm
+		case ir.OpMov:
+			if known[in.B] {
+				setConst(in, in.A, val[in.B])
+			} else {
+				kill(in.A)
+			}
+		case ir.OpNeg:
+			if known[in.B] {
+				setConst(in, in.A, -val[in.B])
+			} else {
+				kill(in.A)
+			}
+		case ir.OpBNot:
+			if known[in.B] {
+				setConst(in, in.A, ^val[in.B])
+			} else {
+				kill(in.A)
+			}
+		case ir.OpLNot:
+			if known[in.B] {
+				v := int64(0)
+				if val[in.B] == 0 {
+					v = 1
+				}
+				setConst(in, in.A, v)
+			} else {
+				kill(in.A)
+			}
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			if known[in.B] && known[in.C] {
+				if v, ok := evalBinary(in.Op, val[in.B], val[in.C]); ok {
+					setConst(in, in.A, v)
+					continue
+				}
+			}
+			kill(in.A)
+		case ir.OpLoadG, ir.OpLoadEl, ir.OpAlloc, ir.OpLen, ir.OpCall, ir.OpCallB:
+			kill(in.A)
+		case ir.OpStoreG, ir.OpStoreEl, ir.OpSpawn, ir.OpSync,
+			ir.OpPrintStr, ir.OpPrintVal, ir.OpPrintNL,
+			ir.OpJmp, ir.OpBr, ir.OpRet:
+			// No register definitions.
+		default:
+			kill(in.A)
+		}
+	}
+	return folded
+}
+
+func evalBinary(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false // preserve the runtime trap
+		}
+		return a / b, true
+	case ir.OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case ir.OpEq:
+		return b2i(a == b), true
+	case ir.OpNe:
+		return b2i(a != b), true
+	case ir.OpLt:
+		return b2i(a < b), true
+	case ir.OpLe:
+		return b2i(a <= b), true
+	case ir.OpGt:
+		return b2i(a > b), true
+	case ir.OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// removeUnreachable deletes instructions no control path reaches (e.g.
+// the implicit return tail after an explicit return) and remaps branch
+// targets.
+func removeUnreachable(f *ir.Func) int {
+	n := len(f.Code)
+	if n == 0 {
+		return 0
+	}
+	reach := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if i < 0 || i >= n || reach[i] {
+			continue
+		}
+		reach[i] = true
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpJmp:
+			stack = append(stack, in.Targets[0])
+		case ir.OpBr:
+			stack = append(stack, in.Targets[0], in.Targets[1])
+		case ir.OpRet:
+			// terminal
+		default:
+			stack = append(stack, i+1)
+		}
+	}
+	removed := 0
+	remap := make([]int, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		remap[i] = next
+		if reach[i] {
+			next++
+		} else {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	out := make([]ir.Instr, 0, next)
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		in := f.Code[i]
+		switch in.Op {
+		case ir.OpJmp:
+			in.Targets[0] = remap[in.Targets[0]]
+		case ir.OpBr:
+			in.Targets[0] = remap[in.Targets[0]]
+			in.Targets[1] = remap[in.Targets[1]]
+		}
+		out = append(out, in)
+	}
+	f.Code = out
+	return removed
+}

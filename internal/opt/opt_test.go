@@ -1,0 +1,211 @@
+package opt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/ir"
+	"alchemist/internal/progs"
+	"alchemist/internal/vm"
+)
+
+// runBoth compiles src unoptimized and optimized, runs both on input,
+// and returns the two results.
+func runBoth(t *testing.T, src string, input []int64, memWords int64) (*vm.Result, *vm.Result) {
+	t.Helper()
+	plain, err := compile.Build("p.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := compile.BuildConfig("p.mc", src, compile.Config{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *ir.Program) *vm.Result {
+		m, err := vm.New(p, vm.Config{Input: input, MemWords: memWords, StepLimit: 500_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return run(plain), run(optd)
+}
+
+func TestConstantFoldingReducesWork(t *testing.T) {
+	src := `
+int main() {
+	int x = 2 + 3 * 4;
+	int y = x * 0 + (10 / 2);
+	out(x + y);
+	return 0;
+}`
+	plain, optd := runBoth(t, src, nil, 0)
+	if !reflect.DeepEqual(plain.Output, optd.Output) {
+		t.Fatalf("outputs differ: %v vs %v", plain.Output, optd.Output)
+	}
+	if optd.Steps > plain.Steps {
+		t.Errorf("optimized ran more steps: %d vs %d", optd.Steps, plain.Steps)
+	}
+}
+
+func TestUnreachableEliminated(t *testing.T) {
+	src := `
+int f(int x) {
+	return x + 1;
+}
+int main() {
+	return f(in(0));
+}`
+	plain, err := compile.Build("u.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := compile.BuildConfig("u.mc", src, compile.Config{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The implicit-return tail after f's explicit return disappears.
+	if len(optd.FindFunc("f").Code) >= len(plain.FindFunc("f").Code) {
+		t.Errorf("optimized f has %d instrs, plain %d",
+			len(optd.FindFunc("f").Code), len(plain.FindFunc("f").Code))
+	}
+}
+
+func TestDivisionByZeroTrapPreserved(t *testing.T) {
+	src := `int main() { return 1 / (2 - 2); }`
+	optd, err := compile.BuildConfig("z.mc", src, compile.Config{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(optd, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("folded away the division-by-zero trap")
+	}
+}
+
+// TestLoopPredicatesSurvive: a while(1) loop's branch must stay a branch
+// (constructs depend on it), even though its condition is constant.
+func TestLoopPredicatesSurvive(t *testing.T) {
+	src := `
+int main() {
+	int n = 0;
+	while (1) {
+		n++;
+		if (n > 5) { break; }
+	}
+	return n;
+}`
+	optd, err := compile.BuildConfig("l.mc", src, compile.Config{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	main := optd.FindFunc("main")
+	for i := range main.Code {
+		if main.Code[i].Op == ir.OpBr && main.Code[i].IsLoopPred {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("optimization removed the loop predicate branch")
+	}
+	m, err := vm.New(optd, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 6 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+// TestSemanticsPreservedOnWorkloads runs every benchmark workload both
+// ways and demands identical observable behaviour — the strongest
+// equivalence check available.
+func TestSemanticsPreservedOnWorkloads(t *testing.T) {
+	for _, w := range progs.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			input := w.InputFor(w.SmallScale)
+			plain, optd := runBoth(t, w.Source, input, w.MemWords)
+			if !reflect.DeepEqual(plain.Output, optd.Output) {
+				t.Fatalf("outputs differ: %v vs %v", plain.Output, optd.Output)
+			}
+			if optd.Steps > plain.Steps {
+				t.Errorf("optimized ran more steps (%d vs %d)", optd.Steps, plain.Steps)
+			}
+		})
+	}
+}
+
+// TestSemanticsPreservedOnTestdataParallel checks the spawn-annotated
+// matmul under optimization in simulated-parallel mode.
+func TestSemanticsPreservedOnParallelVariants(t *testing.T) {
+	for _, w := range progs.All() {
+		if !w.HasParallel() {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			input := w.InputFor(w.SmallScale)
+			optd, err := compile.BuildConfig(w.Name+"_par.mc", w.ParSource, compile.Config{Optimize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := vm.New(optd, vm.Config{Input: input, MemWords: w.MemWords, SimWorkers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, _ := runBoth(t, w.Source, input, w.MemWords)
+			if !reflect.DeepEqual(plain.Output, res.Output) {
+				t.Fatalf("optimized parallel output differs: %v vs %v", res.Output, plain.Output)
+			}
+		})
+	}
+}
+
+// TestProfilingOptimizedCode: profiles of optimized code remain
+// well-formed (constructs, edges, ranked order).
+func TestProfilingOptimizedCode(t *testing.T) {
+	w := progs.Gzip()
+	optd, err := compile.BuildConfig("gzip.mc", w.Source, compile.Config{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile through the core API.
+	input := w.InputFor(w.SmallScale)
+	prof := profileProgram(t, optd, input, w.MemWords)
+	if prof.ConstructForFunc("flush_block") == nil {
+		t.Error("flush_block missing from optimized profile")
+	}
+	for i := 1; i < len(prof.Constructs); i++ {
+		if prof.Constructs[i-1].Ttotal < prof.Constructs[i].Ttotal {
+			t.Fatal("profile not ranked")
+		}
+	}
+}
+
+func profileProgram(t *testing.T, p *ir.Program, input []int64, memWords int64) *core.Profile {
+	t.Helper()
+	prof, _, err := core.ProfileProgram(p, vm.Config{Input: input, MemWords: memWords}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}

@@ -1,0 +1,504 @@
+// Package parser builds a mini-C AST from a token stream.
+//
+// The grammar is a restricted C:
+//
+//	program   = { globalDecl | funcDecl } .
+//	funcDecl  = ("int"|"void") IDENT "(" [params] ")" block .
+//	params    = param { "," param } .
+//	param     = "int" IDENT [ "[" "]" ] .
+//	block     = "{" { stmt } "}" .
+//	stmt      = block | ifStmt | whileStmt | forStmt | doStmt
+//	          | "break" ";" | "continue" ";" | "return" [expr] ";"
+//	          | "spawn" call ";" | "sync" ";"
+//	          | localDecl | simpleStmt ";" | ";" .
+//	localDecl = "int" IDENT ( "[" expr "]" | [ "=" expr ] ) ";" .
+//	simple    = lvalue asgnOp expr | lvalue "++" | lvalue "--" | expr .
+//	expr      = ternary with C precedence; && and || short-circuit .
+//
+// For loops are desugared to while loops carrying a Post statement;
+// do-while loops become while(1) loops whose condition check is appended as
+// `if (!cond) break;`.
+package parser
+
+import (
+	"alchemist/internal/ast"
+	"alchemist/internal/lexer"
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+// Parse lexes and parses the file, reporting problems to diags. The
+// returned program may be partial when diags has errors.
+func Parse(file *source.File, diags *source.DiagList) *ast.Program {
+	toks := lexer.ScanAll(file, diags)
+	p := &parser{file: file, toks: toks, diags: diags}
+	return p.parseProgram()
+}
+
+// ParseSource is a convenience wrapper that parses source text and returns
+// an error when the text is malformed.
+func ParseSource(name, src string) (*ast.Program, error) {
+	file := source.NewFile(name, src)
+	var diags source.DiagList
+	prog := Parse(file, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	file  *source.File
+	toks  []token.Token
+	pos   int
+	diags *source.DiagList
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) next() token.Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) tokPos(t token.Token) source.Pos { return p.file.Pos(t.Offset) }
+func (p *parser) curPos() source.Pos              { return p.tokPos(p.cur()) }
+
+func (p *parser) errorf(format string, args ...any) {
+	p.diags.Errorf(p.curPos(), format, args...)
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return p.cur()
+}
+
+// sync skips tokens until a statement boundary, for error recovery.
+func (p *parser) syncStmt() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.RBrace:
+			return
+		case token.Semi:
+			p.advance()
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwInt, token.KwVoid:
+			retTok := p.next()
+			nameTok := p.expect(token.IDENT)
+			if p.at(token.LParen) {
+				fn := p.parseFuncRest(retTok, nameTok)
+				if fn != nil {
+					prog.Funcs = append(prog.Funcs, fn)
+				}
+			} else {
+				if retTok.Kind == token.KwVoid {
+					p.errorf("global variable %q cannot have type void", nameTok.Text)
+				}
+				g := p.parseVarRest(retTok, nameTok, true)
+				if g != nil {
+					prog.Globals = append(prog.Globals, g)
+				}
+			}
+		default:
+			p.errorf("expected declaration, found %s", p.cur())
+			p.syncStmt()
+		}
+	}
+	return prog
+}
+
+// parseVarRest parses the remainder of a variable declaration after the
+// type keyword and name have been consumed.
+func (p *parser) parseVarRest(kw, name token.Token, global bool) *ast.VarDecl {
+	d := &ast.VarDecl{KwPos: p.tokPos(kw), Name: name.Text}
+	if p.at(token.LBracket) {
+		p.advance()
+		d.IsArray = true
+		if !p.at(token.RBracket) {
+			d.Size = p.parseExpr()
+		}
+		p.expect(token.RBracket)
+		if p.at(token.Assign) {
+			p.advance()
+			d.Init = p.parseExpr()
+		}
+	} else if p.at(token.Assign) {
+		p.advance()
+		d.Init = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	_ = global
+	return d
+}
+
+func (p *parser) parseFuncRest(retTok, nameTok token.Token) *ast.FuncDecl {
+	fn := &ast.FuncDecl{KwPos: p.tokPos(retTok), Name: nameTok.Text}
+	if retTok.Kind == token.KwInt {
+		fn.Returns = ast.TypeInt
+	} else {
+		fn.Returns = ast.TypeVoid
+	}
+	p.expect(token.LParen)
+	if !p.at(token.RParen) {
+		for {
+			p.expect(token.KwInt)
+			pn := p.expect(token.IDENT)
+			param := &ast.Param{NamePos: p.tokPos(pn), Name: pn.Text}
+			if p.at(token.LBracket) {
+				p.advance()
+				p.expect(token.RBracket)
+				param.IsArray = true
+			}
+			fn.Params = append(fn.Params, param)
+			if !p.at(token.Comma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	p.expect(token.RParen)
+	if !p.at(token.LBrace) {
+		p.errorf("expected function body, found %s", p.cur())
+		p.syncStmt()
+		return nil
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBrace)
+	blk := &ast.BlockStmt{LBrace: p.tokPos(lb)}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		s := p.parseStmt()
+		if s != nil {
+			blk.List = append(blk.List, s)
+		}
+	}
+	p.expect(token.RBrace)
+	return blk
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.Semi:
+		p.advance()
+		return nil
+	case token.KwInt:
+		kw := p.next()
+		name := p.expect(token.IDENT)
+		return &ast.DeclStmt{Decl: p.parseVarRest(kw, name, false)}
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwBreak:
+		t := p.next()
+		p.expect(token.Semi)
+		return &ast.BreakStmt{KwPos: p.tokPos(t)}
+	case token.KwContinue:
+		t := p.next()
+		p.expect(token.Semi)
+		return &ast.ContinueStmt{KwPos: p.tokPos(t)}
+	case token.KwReturn:
+		t := p.next()
+		r := &ast.ReturnStmt{KwPos: p.tokPos(t)}
+		if !p.at(token.Semi) {
+			r.X = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return r
+	case token.KwSpawn:
+		t := p.next()
+		call := p.parseExpr()
+		c, ok := call.(*ast.CallExpr)
+		if !ok {
+			p.errorf("spawn requires a function call")
+			p.syncStmt()
+			return nil
+		}
+		p.expect(token.Semi)
+		return &ast.SpawnStmt{KwPos: p.tokPos(t), Call: c}
+	case token.KwSync:
+		t := p.next()
+		p.expect(token.Semi)
+		return &ast.SyncStmt{KwPos: p.tokPos(t)}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(token.Semi)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon, so for-loop headers can reuse it).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	x := p.parseExpr()
+	switch {
+	case token.IsAssignOp(p.cur().Kind):
+		op := p.next()
+		rhs := p.parseExpr()
+		if !isLvalue(x) {
+			p.diags.Errorf(x.Pos(), "left side of assignment is not assignable")
+		}
+		return &ast.AssignStmt{LHS: x, Op: op.Kind, RHS: rhs}
+	case p.at(token.Inc), p.at(token.Dec):
+		opTok := p.next()
+		if !isLvalue(x) {
+			p.diags.Errorf(x.Pos(), "operand of %s is not assignable", opTok.Kind)
+		}
+		op := token.PlusAssign
+		if opTok.Kind == token.Dec {
+			op = token.MinusAssign
+		}
+		return &ast.AssignStmt{LHS: x, Op: op, RHS: &ast.IntLit{LitPos: p.tokPos(opTok), Val: 1}}
+	default:
+		return &ast.ExprStmt{X: x}
+	}
+}
+
+func isLvalue(x ast.Expr) bool {
+	switch x.(type) {
+	case *ast.Ident, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	t := p.next() // if
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	then := p.parseStmt()
+	s := &ast.IfStmt{KwPos: p.tokPos(t), Cond: cond, Then: then}
+	if p.at(token.KwElse) {
+		p.advance()
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	t := p.next() // while
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	body := p.parseStmt()
+	return &ast.WhileStmt{KwPos: p.tokPos(t), Cond: cond, Body: body}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	t := p.next() // for
+	pos := p.tokPos(t)
+	p.expect(token.LParen)
+
+	var initStmt ast.Stmt
+	if !p.at(token.Semi) {
+		if p.at(token.KwInt) {
+			kw := p.next()
+			name := p.expect(token.IDENT)
+			initStmt = &ast.DeclStmt{Decl: p.parseVarRest(kw, name, false)}
+		} else {
+			initStmt = p.parseSimpleStmt()
+			p.expect(token.Semi)
+		}
+	} else {
+		p.advance()
+	}
+
+	var cond ast.Expr
+	if !p.at(token.Semi) {
+		cond = p.parseExpr()
+	} else {
+		cond = &ast.IntLit{LitPos: pos, Val: 1}
+	}
+	p.expect(token.Semi)
+
+	var post ast.Stmt
+	if !p.at(token.RParen) {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(token.RParen)
+	body := p.parseStmt()
+
+	loop := &ast.WhileStmt{KwPos: pos, Cond: cond, Body: body, Post: post}
+	if initStmt == nil {
+		return loop
+	}
+	// Wrap init + loop in a block so the induction variable scopes to the
+	// loop.
+	return &ast.BlockStmt{LBrace: pos, List: []ast.Stmt{initStmt, loop}}
+}
+
+// parseDoWhile desugars `do S while (c);` into
+// `while (1) { S; if (!c) break; }`.
+func (p *parser) parseDoWhile() ast.Stmt {
+	t := p.next() // do
+	pos := p.tokPos(t)
+	body := p.parseStmt()
+	p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+
+	exit := &ast.IfStmt{
+		KwPos: cond.Pos(),
+		Cond:  &ast.UnaryExpr{OpPos: cond.Pos(), Op: token.Not, X: cond},
+		Then:  &ast.BreakStmt{KwPos: cond.Pos()},
+	}
+	blk := &ast.BlockStmt{LBrace: pos, List: []ast.Stmt{body, exit}}
+	return &ast.WhileStmt{KwPos: pos, Cond: &ast.IntLit{LitPos: pos, Val: 1}, Body: blk}
+}
+
+// ---------- Expressions (precedence climbing) ----------
+
+// binaryPrec returns the precedence of a binary operator, or 0.
+func binaryPrec(k token.Kind) int {
+	switch k {
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	case token.Plus, token.Minus:
+		return 9
+	case token.Shl, token.Shr:
+		return 8
+	case token.Lt, token.Le, token.Gt, token.Ge:
+		return 7
+	case token.Eq, token.Ne:
+		return 6
+	case token.Amp:
+		return 5
+	case token.Xor:
+		return 4
+	case token.Or:
+		return 3
+	case token.LAnd:
+		return 2
+	case token.LOr:
+		return 1
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseTernary() }
+
+func (p *parser) parseTernary() ast.Expr {
+	cond := p.parseBinary(1)
+	if !p.at(token.Question) {
+		return cond
+	}
+	p.advance()
+	then := p.parseTernary()
+	p.expect(token.Colon)
+	els := p.parseTernary()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els}
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Minus, token.Not, token.Tilde, token.Plus:
+		t := p.next()
+		x := p.parseUnary()
+		if t.Kind == token.Plus {
+			return x
+		}
+		return &ast.UnaryExpr{OpPos: p.tokPos(t), Op: t.Kind, X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.LBracket:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.LParen:
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				p.errorf("called object is not a function name")
+				p.advance()
+				p.syncStmt()
+				return x
+			}
+			p.advance()
+			call := &ast.CallExpr{Fun: id}
+			if !p.at(token.RParen) {
+				for {
+					call.Args = append(call.Args, p.parseExpr())
+					if !p.at(token.Comma) {
+						break
+					}
+					p.advance()
+				}
+			}
+			p.expect(token.RParen)
+			x = call
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.cur().Kind {
+	case token.IDENT:
+		t := p.next()
+		return &ast.Ident{NamePos: p.tokPos(t), Name: t.Text}
+	case token.INT:
+		t := p.next()
+		return &ast.IntLit{LitPos: p.tokPos(t), Val: t.Val}
+	case token.STRING:
+		t := p.next()
+		return &ast.StrLit{LitPos: p.tokPos(t), Val: t.Text}
+	case token.LParen:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	default:
+		p.errorf("expected expression, found %s", p.cur())
+		t := p.cur()
+		p.advance()
+		return &ast.IntLit{LitPos: p.tokPos(t), Val: 0}
+	}
+}

@@ -1,0 +1,326 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/ast"
+	"alchemist/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.ParseSource("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := parser.ParseSource("t.mc", src)
+	if err == nil {
+		t.Fatalf("parse %q: expected error containing %q", src, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("parse %q: error %q does not contain %q", src, err, want)
+	}
+}
+
+func TestGlobalsAndFunctions(t *testing.T) {
+	p := parse(t, `
+int g;
+int h = 42;
+int arr[10];
+void f() {}
+int main() { return 0; }
+`)
+	if len(p.Globals) != 3 {
+		t.Fatalf("globals = %d", len(p.Globals))
+	}
+	if p.Globals[0].Name != "g" || p.Globals[0].Init != nil {
+		t.Error("g wrong")
+	}
+	if p.Globals[1].Name != "h" || p.Globals[1].Init == nil {
+		t.Error("h wrong")
+	}
+	if !p.Globals[2].IsArray || p.Globals[2].Size == nil {
+		t.Error("arr wrong")
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	if p.FindFunc("f") == nil || p.FindFunc("main") == nil || p.FindFunc("x") != nil {
+		t.Error("FindFunc wrong")
+	}
+	if p.FindFunc("f").Returns != ast.TypeVoid || p.FindFunc("main").Returns != ast.TypeInt {
+		t.Error("return types wrong")
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := parse(t, `int f(int a, int b[], int c) { return a + c; } int main() { return 0; }`)
+	f := p.FindFunc("f")
+	if len(f.Params) != 3 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+	if f.Params[0].IsArray || !f.Params[1].IsArray || f.Params[2].IsArray {
+		t.Error("param array flags wrong")
+	}
+}
+
+func firstStmt(t *testing.T, body string) ast.Stmt {
+	t.Helper()
+	p := parse(t, "int main() {\n"+body+"\nreturn 0; }")
+	return p.FindFunc("main").Body.List[0]
+}
+
+func TestForDesugaring(t *testing.T) {
+	s := firstStmt(t, "for (int i = 0; i < 10; i++) { }")
+	blk, ok := s.(*ast.BlockStmt)
+	if !ok {
+		t.Fatalf("for did not desugar to a block, got %T", s)
+	}
+	if len(blk.List) != 2 {
+		t.Fatalf("desugared block has %d stmts", len(blk.List))
+	}
+	if _, ok := blk.List[0].(*ast.DeclStmt); !ok {
+		t.Errorf("first stmt is %T, want decl", blk.List[0])
+	}
+	loop, ok := blk.List[1].(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("second stmt is %T, want while", blk.List[1])
+	}
+	if loop.Post == nil {
+		t.Error("for loop lost its post statement")
+	}
+}
+
+func TestForWithoutInit(t *testing.T) {
+	s := firstStmt(t, "for (; 1; ) { break; }")
+	loop, ok := s.(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if loop.Post != nil {
+		t.Error("empty post should be nil")
+	}
+}
+
+func TestForInfinite(t *testing.T) {
+	s := firstStmt(t, "for (;;) { break; }")
+	loop, ok := s.(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	lit, ok := loop.Cond.(*ast.IntLit)
+	if !ok || lit.Val != 1 {
+		t.Errorf("infinite for cond = %#v", loop.Cond)
+	}
+}
+
+func TestDoWhileDesugaring(t *testing.T) {
+	s := firstStmt(t, "do { out(1); } while (in(0));")
+	loop, ok := s.(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	lit, ok := loop.Cond.(*ast.IntLit)
+	if !ok || lit.Val != 1 {
+		t.Error("do-while should become while(1)")
+	}
+	body, ok := loop.Body.(*ast.BlockStmt)
+	if !ok || len(body.List) != 2 {
+		t.Fatalf("do-while body shape wrong: %T", loop.Body)
+	}
+	exit, ok := body.List[1].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("missing exit check, got %T", body.List[1])
+	}
+	if _, ok := exit.Then.(*ast.BreakStmt); !ok {
+		t.Error("exit check does not break")
+	}
+}
+
+func TestIncDecDesugaring(t *testing.T) {
+	s := firstStmt(t, "int x = 0; ")
+	_ = s
+	p := parse(t, `int main() { int x = 0; x++; x--; return x; }`)
+	list := p.FindFunc("main").Body.List
+	inc, ok := list[1].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("x++ is %T", list[1])
+	}
+	if lit, ok := inc.RHS.(*ast.IntLit); !ok || lit.Val != 1 {
+		t.Error("x++ RHS not literal 1")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parse(t, `int main() { return 1 + 2 * 3; }`)
+	ret := p.FindFunc("main").Body.List[0].(*ast.ReturnStmt)
+	add, ok := ret.X.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("ret.X is %T", ret.X)
+	}
+	if _, ok := add.Y.(*ast.BinaryExpr); !ok {
+		t.Error("multiplication did not bind tighter than addition")
+	}
+
+	p2 := parse(t, `int main() { return 1 < 2 && 3 < 4 || 5 == 6; }`)
+	ret2 := p2.FindFunc("main").Body.List[0].(*ast.ReturnStmt)
+	or, ok := ret2.X.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("ret2.X is %T", ret2.X)
+	}
+	if or.Op.String() != "||" {
+		t.Errorf("top operator is %v, want ||", or.Op)
+	}
+}
+
+func TestTernaryRightAssociative(t *testing.T) {
+	p := parse(t, `int main() { return 1 ? 2 : 3 ? 4 : 5; }`)
+	ret := p.FindFunc("main").Body.List[0].(*ast.ReturnStmt)
+	outer, ok := ret.X.(*ast.CondExpr)
+	if !ok {
+		t.Fatalf("ret.X is %T", ret.X)
+	}
+	if _, ok := outer.Else.(*ast.CondExpr); !ok {
+		t.Error("ternary else arm should nest another ternary")
+	}
+}
+
+func TestSpawnSync(t *testing.T) {
+	p := parse(t, `
+void work(int i) {}
+int main() {
+	spawn work(1);
+	sync;
+	return 0;
+}`)
+	list := p.FindFunc("main").Body.List
+	sp, ok := list[0].(*ast.SpawnStmt)
+	if !ok {
+		t.Fatalf("spawn is %T", list[0])
+	}
+	if sp.Call.Fun.Name != "work" {
+		t.Error("spawn callee wrong")
+	}
+	if _, ok := list[1].(*ast.SyncStmt); !ok {
+		t.Fatalf("sync is %T", list[1])
+	}
+}
+
+func TestLocalArrayForms(t *testing.T) {
+	p := parse(t, `int main() {
+	int a[10];
+	int b[] = alloc(5);
+	return a[0] + b[0];
+}`)
+	list := p.FindFunc("main").Body.List
+	a := list[0].(*ast.DeclStmt).Decl
+	if !a.IsArray || a.Size == nil || a.Init != nil {
+		t.Error("a shape wrong")
+	}
+	b := list[1].(*ast.DeclStmt).Decl
+	if !b.IsArray || b.Size != nil || b.Init == nil {
+		t.Error("b shape wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `int main() { return 1 + ; }`, "expected expression")
+	parseErr(t, `int main() { if 1 { } }`, "expected (")
+	parseErr(t, `int main() { spawn 3; }`, "spawn requires a function call")
+	parseErr(t, `int main() { 3 = x; }`, "not assignable")
+	parseErr(t, `int main() { return 0 }`, "expected ;")
+	parseErr(t, `void () {}`, "expected identifier")
+	parseErr(t, `xyz`, "expected declaration")
+	parseErr(t, `int main() { (1+2)(); }`, "not a function name")
+}
+
+func TestErrorRecoveryParsesRest(t *testing.T) {
+	// One bad statement must not stop the parser from seeing later
+	// functions.
+	_, err := parser.ParseSource("t.mc", `
+int main() { @@@ ; return 0; }
+int after() { return 1; }`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Parse a fresh valid program to make sure the parser is reusable.
+	parse(t, `int main() { return 0; }`)
+}
+
+func TestWalk(t *testing.T) {
+	p := parse(t, `
+int g[4];
+int f(int x) { return x * 2; }
+int main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		s += f(g[i]) > 2 ? 1 : 0;
+	}
+	while (s > 10) { s--; }
+	do { s++; } while (s < 0);
+	spawn f(1);
+	sync;
+	print("done", s);
+	return s;
+}`)
+	counts := map[string]int{}
+	ast.Walk(p, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr:
+			counts["call"]++
+		case *ast.WhileStmt:
+			counts["while"]++
+		case *ast.CondExpr:
+			counts["cond"]++
+		case *ast.IndexExpr:
+			counts["index"]++
+		}
+		return true
+	})
+	if counts["call"] < 3 { // f(g[i]), f(1), print... print is a call too
+		t.Errorf("calls = %d", counts["call"])
+	}
+	if counts["while"] != 3 { // for + while + do-while
+		t.Errorf("whiles = %d", counts["while"])
+	}
+	if counts["cond"] != 1 || counts["index"] != 1 {
+		t.Errorf("cond=%d index=%d", counts["cond"], counts["index"])
+	}
+	// Pruning: stop at functions, see no calls.
+	pruned := 0
+	ast.Walk(p, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			pruned++
+		}
+		return true
+	})
+	if pruned != 0 {
+		t.Errorf("pruned walk saw %d calls", pruned)
+	}
+}
+
+func TestDump(t *testing.T) {
+	p := parse(t, `
+int g = 3;
+int main() {
+	int a[2];
+	a[0] = g ? 1 : 2;
+	print("x", a[0]);
+	return -a[0];
+}`)
+	text := ast.DumpString(p)
+	for _, want := range []string{"global g", "func int main", "assign =", "cond ?:", "call print", "unary -", "index"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump lacks %q:\n%s", want, text)
+		}
+	}
+}

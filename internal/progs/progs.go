@@ -1,0 +1,332 @@
+// Package progs ships the benchmark programs of the paper's evaluation
+// (§IV) as embedded mini-C sources, together with deterministic input
+// generators. Each workload mirrors the dependence structure of the real
+// program the paper profiled: gzip's flush_block conflicts, bzip2's
+// shared BZFILE state, parser's dictionary + batch loop, XLisp's batch
+// loop, oggenc's per-file loop with shared counters, AES-CTR's ivec,
+// par2's Reed-Solomon block loops, and Delaunay refinement's worklist.
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the paper's benchmark naming.
+	Name string
+	// Source is the sequential mini-C program (the profiling target).
+	Source string
+	// ParSource, when non-empty, is the hand-parallelized variant using
+	// spawn/sync (the Table V configurations).
+	ParSource string
+	// Description summarizes what the workload models.
+	Description string
+	// Input builds the deterministic input stream for a given scale
+	// (scale 0 means DefaultScale).
+	Input func(scale int) []int64
+	// DefaultScale is the Table III / Table V input size.
+	DefaultScale int
+	// SmallScale is a fast size for unit tests.
+	SmallScale int
+	// MemWords sizes the VM memory for this workload.
+	MemWords int64
+}
+
+// LOC returns the mini-C line count of the sequential source (Table III's
+// LOC column).
+func (w *Workload) LOC() int {
+	return strings.Count(strings.TrimRight(w.Source, "\n"), "\n") + 1
+}
+
+// HasParallel reports whether a spawn/sync variant exists.
+func (w *Workload) HasParallel() bool { return w.ParSource != "" }
+
+// InputFor returns the input stream at the given scale (0 = default).
+func (w *Workload) InputFor(scale int) []int64 {
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	return w.Input(scale)
+}
+
+// rng is a tiny deterministic generator so inputs are reproducible
+// without pulling in math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// All returns every workload in the paper's Table III order (197.parser,
+// bzip2, gzip, 130.li, ogg, aes, par2, delaunay).
+func All() []*Workload {
+	return []*Workload{
+		Parser(), Bzip2(), Gzip(), Lisp(), Ogg(), AES(), Par2(), Delaunay(),
+	}
+}
+
+// ByName returns the named workload or an error.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("progs: unknown workload %q", name)
+}
+
+// Gzip returns the gzip-1.3.5 analog.
+func Gzip() *Workload {
+	return &Workload{
+		Name:         "gzip",
+		Source:       SrcGzip,
+		Description:  "gzip-1.3.5 analog: per-file loop + zip() literals + flush_block() encoder (paper Fig. 2)",
+		DefaultScale: 12000,
+		SmallScale:   1200,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(42)
+			const nfiles = 2
+			stream := []int64{nfiles}
+			for f := 0; f < nfiles; f++ {
+				n := scale + f*37
+				stream = append(stream, int64(n))
+				// Compressible text: runs and a skewed alphabet.
+				i := 0
+				for i < n {
+					c := int64(r.intn(64))
+					if r.intn(4) == 0 {
+						c += 128 // occasionally a "match" literal class
+					}
+					run := 1 + r.intn(5)
+					for k := 0; k < run && i < n; k++ {
+						stream = append(stream, c)
+						i++
+					}
+				}
+			}
+			return stream
+		},
+	}
+}
+
+// Bzip2 returns the bzip2-1.0 analog.
+func Bzip2() *Workload {
+	return &Workload{
+		Name:         "bzip2",
+		Source:       SrcBzip2,
+		ParSource:    SrcBzip2Par,
+		Description:  "bzip2-1.0 analog: per-file loop + per-block RLE/MTF with shared BZFILE state",
+		DefaultScale: 6000,
+		SmallScale:   2500,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(1234)
+			const nfiles = 4
+			stream := []int64{nfiles}
+			for f := 0; f < nfiles; f++ {
+				n := scale + f*13
+				stream = append(stream, int64(n))
+				i := 0
+				for i < n {
+					c := int64(r.intn(200))
+					run := 1
+					if r.intn(3) == 0 {
+						run = 2 + r.intn(8)
+					}
+					for k := 0; k < run && i < n; k++ {
+						stream = append(stream, c)
+						i++
+					}
+				}
+			}
+			return stream
+		},
+	}
+}
+
+// Parser returns the 197.parser analog.
+func Parser() *Workload {
+	return &Workload{
+		Name:         "197.parser",
+		Source:       SrcParser,
+		Description:  "197.parser analog: dictionary load + CKY-style sentence batch loop",
+		DefaultScale: 60,
+		SmallScale:   6,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(777)
+			ndict := 40 * scale
+			if ndict > 3000 {
+				ndict = 3000
+			}
+			if ndict < 200 {
+				ndict = 200
+			}
+			words := make([]int64, ndict)
+			stream := []int64{int64(ndict)}
+			for i := range words {
+				words[i] = int64(2 + r.intn(1_000_000))
+				stream = append(stream, words[i])
+			}
+			stream = append(stream, int64(scale))
+			for s := 0; s < scale; s++ {
+				n := 8 + r.intn(16)
+				stream = append(stream, int64(n))
+				for k := 0; k < n; k++ {
+					stream = append(stream, words[r.intn(ndict)])
+				}
+			}
+			return stream
+		},
+	}
+}
+
+// Lisp returns the 130.li analog.
+func Lisp() *Workload {
+	return &Workload{
+		Name:         "130.li",
+		Source:       SrcLisp,
+		Description:  "130.li (XLisp) analog: expression interpreter with batch-processing loop",
+		DefaultScale: 60,
+		SmallScale:   6,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(999)
+			const nfiles = 9 // 1 initial xlload + 8 batch iterations
+			var genExpr func(depth int, out *[]int64)
+			genExpr = func(depth int, out *[]int64) {
+				if depth <= 0 || r.intn(3) == 0 {
+					*out = append(*out, 0, int64(r.intn(100)))
+					return
+				}
+				op := 1 + r.intn(5)
+				*out = append(*out, int64(op))
+				genExpr(depth-1, out)
+				if op != 5 {
+					genExpr(depth-1, out)
+				}
+			}
+			stream := []int64{nfiles}
+			for f := 0; f < nfiles; f++ {
+				var file []int64
+				for e := 0; e < scale; e++ {
+					genExpr(5, &file)
+				}
+				stream = append(stream, int64(len(file)))
+				stream = append(stream, file...)
+			}
+			return stream
+		},
+	}
+}
+
+// Ogg returns the oggenc-1.0.1 analog.
+func Ogg() *Workload {
+	return &Workload{
+		Name:         "ogg",
+		Source:       SrcOgg,
+		ParSource:    SrcOggPar,
+		Description:  "oggenc analog: per-file MDCT encode loop with shared errors/samples counters",
+		DefaultScale: 4096,
+		SmallScale:   256,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(31337)
+			const nfiles = 4
+			stream := []int64{nfiles}
+			for f := 0; f < nfiles; f++ {
+				n := scale
+				if f == nfiles-1 {
+					n += 17 // a trailing partial frame trips the errors flag
+				}
+				stream = append(stream, int64(n))
+				phase := 0
+				for i := 0; i < n; i++ {
+					phase += 3 + f
+					v := 512 + (phase%257)*2 - 257 + r.intn(64)
+					stream = append(stream, int64(v&1023))
+				}
+			}
+			return stream
+		},
+	}
+}
+
+// AES returns the OpenSSL AES-CTR analog.
+func AES() *Workload {
+	return &Workload{
+		Name:         "aes",
+		Source:       SrcAES,
+		ParSource:    SrcAESPar,
+		Description:  "AES-CTR (OpenSSL) analog: XTEA-style cipher in counter mode",
+		DefaultScale: 32768,
+		SmallScale:   1024,
+		MemWords:     1 << 21,
+		Input: func(scale int) []int64 {
+			r := rng(555)
+			stream := []int64{305419896, 65537}
+			for i := 0; i < scale; i++ {
+				stream = append(stream, int64(r.next()&0xffffffff))
+			}
+			return stream
+		},
+	}
+}
+
+// Par2 returns the par2cmdline analog.
+func Par2() *Workload {
+	return &Workload{
+		Name:         "par2",
+		Source:       SrcPar2,
+		ParSource:    SrcPar2Par,
+		Description:  "par2cmdline analog: GF(256) Reed-Solomon recovery-block creation",
+		DefaultScale: 4096,
+		SmallScale:   2048,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(2024)
+			const nfiles = 4
+			stream := []int64{nfiles}
+			for f := 0; f < nfiles; f++ {
+				stream = append(stream, int64(scale))
+				for i := 0; i < scale; i++ {
+					stream = append(stream, int64(r.intn(256)))
+				}
+			}
+			return stream
+		},
+	}
+}
+
+// Delaunay returns the Delaunay mesh refinement analog.
+func Delaunay() *Workload {
+	return &Workload{
+		Name:         "delaunay",
+		Source:       SrcDelaunay,
+		Description:  "Delaunay mesh refinement analog: shared-worklist negative control",
+		DefaultScale: 2500,
+		SmallScale:   200,
+		MemWords:     1 << 20,
+		Input: func(scale int) []int64 {
+			r := rng(4242)
+			stream := []int64{int64(scale)}
+			for t := 0; t < scale; t++ {
+				stream = append(stream,
+					int64(r.intn(100003)),
+					int64(r.intn(100019)),
+					int64(r.intn(100)))
+			}
+			return stream
+		},
+	}
+}

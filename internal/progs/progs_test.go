@@ -1,0 +1,147 @@
+package progs_test
+
+import (
+	"reflect"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/progs"
+	"alchemist/internal/vm"
+)
+
+func runWorkload(t *testing.T, name, src string, input []int64, memWords int64, parallel bool) *vm.Result {
+	t.Helper()
+	prog, err := compile.Build(name+".mc", src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	m, err := vm.New(prog, vm.Config{
+		Input:     input,
+		MemWords:  memWords,
+		Parallel:  parallel,
+		StepLimit: 2_000_000_000,
+	})
+	if err != nil {
+		t.Fatalf("%s: vm: %v", name, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return res
+}
+
+// TestWorkloadsCompileAndRun executes every sequential workload at small
+// scale and sanity-checks its output.
+func TestWorkloadsCompileAndRun(t *testing.T) {
+	for _, w := range progs.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			input := w.InputFor(w.SmallScale)
+			res := runWorkload(t, w.Name, w.Source, input, w.MemWords, false)
+			if len(res.Output) == 0 {
+				t.Fatal("workload produced no output")
+			}
+			if res.Steps == 0 {
+				t.Fatal("no steps recorded")
+			}
+			t.Logf("%s: %d steps, output %v", w.Name, res.Steps, res.Output)
+		})
+	}
+}
+
+// TestParallelVariantsMatchSequential checks that each spawn/sync variant
+// computes the same observable result as the sequential program.
+func TestParallelVariantsMatchSequential(t *testing.T) {
+	for _, w := range progs.All() {
+		if !w.HasParallel() {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			input := w.InputFor(w.SmallScale)
+			seq := runWorkload(t, w.Name, w.Source, input, w.MemWords, false)
+			// The parallel source must agree when run sequentially
+			// (spawn = call) ...
+			parSeq := runWorkload(t, w.Name+"_par_seq", w.ParSource, input, w.MemWords, false)
+			if !reflect.DeepEqual(seq.Output, parSeq.Output) {
+				t.Fatalf("parallel source (sequential run) output %v != sequential %v", parSeq.Output, seq.Output)
+			}
+			// ... and when actually run on goroutines.
+			par := runWorkload(t, w.Name+"_par", w.ParSource, input, w.MemWords, true)
+			if !reflect.DeepEqual(seq.Output, par.Output) {
+				t.Fatalf("parallel run output %v != sequential %v", par.Output, seq.Output)
+			}
+		})
+	}
+}
+
+// TestWorkloadsProfile profiles every workload at small scale and checks
+// basic profile invariants.
+func TestWorkloadsProfile(t *testing.T) {
+	for _, w := range progs.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			input := w.InputFor(w.SmallScale)
+			prof, res, err := core.ProfileSource(w.Name+".mc", w.Source,
+				vm.Config{Input: input, MemWords: w.MemWords}, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			if prof.TotalSteps != res.Steps {
+				t.Errorf("profile steps %d != vm steps %d", prof.TotalSteps, res.Steps)
+			}
+			if len(prof.Constructs) == 0 {
+				t.Fatal("no constructs profiled")
+			}
+			mainC := prof.ConstructForFunc("main")
+			if mainC == nil {
+				t.Fatal("no main construct")
+			}
+			if mainC.Instances != 1 {
+				t.Errorf("main instances = %d", mainC.Instances)
+			}
+			// main is the largest construct.
+			if prof.Constructs[0].Label != mainC.Label {
+				t.Errorf("largest construct is %s at line %d, not main",
+					prof.Constructs[0].FuncName, prof.Constructs[0].Pos.Line)
+			}
+			// Profiled output must match native output.
+			native := runWorkload(t, w.Name, w.Source, input, w.MemWords, false)
+			if !reflect.DeepEqual(native.Output, res.Output) {
+				t.Errorf("profiled output %v != native %v", res.Output, native.Output)
+			}
+		})
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range progs.All() {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.LOC() < 40 {
+			t.Errorf("%s: suspiciously small LOC %d", w.Name, w.LOC())
+		}
+		if w.DefaultScale <= 0 || w.SmallScale <= 0 {
+			t.Errorf("%s: scales not set", w.Name)
+		}
+		if len(w.InputFor(0)) == 0 {
+			t.Errorf("%s: empty default input", w.Name)
+		}
+		// Deterministic inputs.
+		a, b := w.InputFor(w.SmallScale), w.InputFor(w.SmallScale)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: input generation not deterministic", w.Name)
+		}
+	}
+	if _, err := progs.ByName("gzip"); err != nil {
+		t.Error(err)
+	}
+	if _, err := progs.ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

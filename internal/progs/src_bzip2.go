@@ -1,0 +1,273 @@
+package progs
+
+// SrcBzip2 is the bzip2-1.0 analog from §IV.B.2: main iterates over the
+// input files (the construct parallelized first), compressStream iterates
+// over 5000-byte blocks of one file (the second construct), and a
+// bzWriteClose64 analog after the block loop handles leftover data — the
+// source of the "unusually high number of violating static RAW
+// dependences" the paper diagnosed. The shared BZFILE-like state (bzf_*)
+// produces the WAW/WAR conflicts that motivated privatization.
+const SrcBzip2 = `// bzip2.mc: bzip2-1.0 analog (paper §IV.B.2).
+int NFILES = 4;
+int BLOCK = 1000;
+
+int filedata[65536];
+int filelen[8];
+int filebase[8];
+
+// The shared BZFILE *bzf analog.
+int bzf_bufpos;
+int bzf_avail;
+int bzf_total_in;
+int bzf_total_out;
+int bzf_combined_crc;
+int bzf_mode;
+
+int mtf[256];
+int outbuf[131072];
+int outcnt;
+
+void mtf_reset() {
+	for (int i = 0; i < 256; i++) {
+		mtf[i] = i;
+	}
+}
+
+// compress_block run-length-encodes and move-to-front transforms one
+// block, appending to outbuf.
+int compress_block(int base, int n) {
+	int crc = 0;
+	int i = 0;
+	while (i < n) {
+		int c = filedata[base + i] & 255;
+		// Run-length detection.
+		int run = 1;
+		while (i + run < n && run < 250 && (filedata[base + i + run] & 255) == c) {
+			run++;
+		}
+		// Move-to-front position of c.
+		int p = 0;
+		while (mtf[p] != c) {
+			p++;
+		}
+		for (int j = p; j > 0; j--) {
+			mtf[j] = mtf[j - 1];
+		}
+		mtf[0] = c;
+		if (run > 3) {
+			outbuf[outcnt] = 256 + run;
+			outcnt++;
+			outbuf[outcnt] = p;
+			outcnt++;
+		} else {
+			for (int r = 0; r < run; r++) {
+				outbuf[outcnt] = p;
+				outcnt++;
+			}
+		}
+		crc = (crc * 131 + c + run) & 16777215;
+		i += run;
+	}
+	return crc;
+}
+
+// close_stream is the BZ2_bzWriteClose64 analog: it consumes whatever the
+// block loop left in the shared state and flushes the trailer.
+void close_stream(int leftoverbase, int leftover) {
+	if (leftover > 0) {
+		int crc = compress_block(leftoverbase, leftover);
+		bzf_combined_crc = ((bzf_combined_crc << 1) ^ crc) & 16777215;
+		bzf_total_in += leftover;
+	}
+	outbuf[outcnt] = bzf_combined_crc & 255;
+	outcnt++;
+	outbuf[outcnt] = (bzf_combined_crc >> 8) & 255;
+	outcnt++;
+	bzf_total_out = outcnt;
+	bzf_mode = 0;
+}
+
+// compressStream compresses one file block by block (the loop at line
+// 5340 in the paper).
+void compressStream(int f) {
+	bzf_mode = 1;
+	bzf_bufpos = 0;
+	bzf_combined_crc = 0;
+	mtf_reset();
+	int base = filebase[f];
+	int n = filelen[f];
+	int full = n / BLOCK;
+	for (int b = 0; b < full; b++) {
+		int crc = compress_block(base + b * BLOCK, BLOCK);
+		bzf_combined_crc = ((bzf_combined_crc << 1) ^ crc) & 16777215;
+		bzf_total_in += BLOCK;
+		bzf_bufpos = b;
+		bzf_avail = n - (b + 1) * BLOCK;
+	}
+	close_stream(base + full * BLOCK, n - full * BLOCK);
+}
+
+int main() {
+	// Input framing: in(0) = file count, then each file's length followed
+	// by its data.
+	int nfiles = in(0);
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		for (int i = 0; i < n; i++) {
+			filedata[nextbase + i] = in(p);
+			p++;
+		}
+		nextbase += n;
+	}
+	// The loop over files (line 6932 in the paper): compress each file
+	// separately through the shared bzf state.
+	for (int f = 0; f < nfiles; f++) {
+		compressStream(f);
+	}
+	out(outcnt);
+	out(bzf_total_in);
+	out(bzf_combined_crc);
+	int ck = 0;
+	for (int i = 0; i < outcnt; i++) {
+		ck = (ck * 31 + outbuf[i]) & 16777215;
+	}
+	out(ck);
+	return 0;
+}
+`
+
+// SrcBzip2Par is the hand-parallelized bzip2 from §IV.B.2: one thread per
+// file, with the shared BZFILE state privatized per thread (each thread
+// gets its own MTF table, CRC accumulator, and output slice), exactly the
+// transformation the Alchemist WAW/WAR profile suggested.
+const SrcBzip2Par = `// bzip2_par.mc: bzip2 parallelized per file with privatized bzf state.
+int NFILES = 4;
+int BLOCK = 1000;
+int OUTSLICE = 16384;
+
+int filedata[65536];
+int filelen[8];
+int filebase[8];
+
+// Privatized per-thread state (one row per file/thread).
+int mtfp[2048];
+int outp[131072];
+int outpos[8];
+int crcs[8];
+int totins[8];
+
+void mtf_reset_p(int t) {
+	for (int i = 0; i < 256; i++) {
+		mtfp[t * 256 + i] = i;
+	}
+}
+
+int compress_block_p(int t, int base, int n) {
+	int crc = 0;
+	int i = 0;
+	int mb = t * 256;
+	while (i < n) {
+		int c = filedata[base + i] & 255;
+		int run = 1;
+		while (i + run < n && run < 250 && (filedata[base + i + run] & 255) == c) {
+			run++;
+		}
+		int p = 0;
+		while (mtfp[mb + p] != c) {
+			p++;
+		}
+		for (int j = p; j > 0; j--) {
+			mtfp[mb + j] = mtfp[mb + j - 1];
+		}
+		mtfp[mb] = c;
+		if (run > 3) {
+			outp[outpos[t]] = 256 + run;
+			outpos[t]++;
+			outp[outpos[t]] = p;
+			outpos[t]++;
+		} else {
+			for (int r = 0; r < run; r++) {
+				outp[outpos[t]] = p;
+				outpos[t]++;
+			}
+		}
+		crc = (crc * 131 + c + run) & 16777215;
+		i += run;
+	}
+	return crc;
+}
+
+void close_stream_p(int t, int leftoverbase, int leftover) {
+	if (leftover > 0) {
+		int crc = compress_block_p(t, leftoverbase, leftover);
+		crcs[t] = ((crcs[t] << 1) ^ crc) & 16777215;
+		totins[t] += leftover;
+	}
+	outp[outpos[t]] = crcs[t] & 255;
+	outpos[t]++;
+	outp[outpos[t]] = (crcs[t] >> 8) & 255;
+	outpos[t]++;
+}
+
+void compressFile(int f) {
+	outpos[f] = f * OUTSLICE;
+	crcs[f] = 0;
+	mtf_reset_p(f);
+	int base = filebase[f];
+	int n = filelen[f];
+	int full = n / BLOCK;
+	for (int b = 0; b < full; b++) {
+		int crc = compress_block_p(f, base + b * BLOCK, BLOCK);
+		crcs[f] = ((crcs[f] << 1) ^ crc) & 16777215;
+		totins[f] += BLOCK;
+	}
+	close_stream_p(f, base + full * BLOCK, n - full * BLOCK);
+}
+
+int main() {
+	int nfiles = in(0);
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		for (int i = 0; i < n; i++) {
+			filedata[nextbase + i] = in(p);
+			p++;
+		}
+		nextbase += n;
+	}
+	// One thread per file, as in the paper's first bzip2 transformation.
+	for (int f = 0; f < nfiles; f++) {
+		spawn compressFile(f);
+	}
+	sync;
+	// Merge in file order: byte-identical to the sequential stream.
+	int outcnt = 0;
+	int total_in = 0;
+	int last_crc = 0;
+	int ck = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int sbase = f * OUTSLICE;
+		int slen = outpos[f] - sbase;
+		for (int i = 0; i < slen; i++) {
+			ck = (ck * 31 + outp[sbase + i]) & 16777215;
+		}
+		outcnt += slen;
+		total_in += totins[f];
+		last_crc = crcs[f];
+	}
+	out(outcnt);
+	out(total_in);
+	out(last_crc);
+	out(ck);
+	return 0;
+}
+`

@@ -1,0 +1,151 @@
+package progs
+
+// SrcDelaunay is the Delaunay mesh refinement analog (§IV.B.1's negative
+// control): a worklist algorithm whose every iteration pops a bad
+// triangle from a shared queue, retriangulates its cavity in shared mesh
+// arrays, and may push newly-bad neighbors. The queue cursors, mesh
+// quality cells, and neighbor links form a dense web of short-distance
+// loop-carried RAW dependences across many distinct statements — which is
+// why Alchemist reports the computation-heavy constructs with large
+// violating static RAW counts, confirming the known difficulty of
+// parallelizing this algorithm.
+const SrcDelaunay = `// delaunay.mc: Delaunay mesh refinement analog (paper §IV.B.1).
+int MAXTRI = 8192;
+int QCAP = 32768;
+
+// Triangle soup: per-triangle centroid coordinates, quality, and state.
+int cx[8192];
+int cy[8192];
+int quality[8192];
+int alive[8192];
+int generation[8192];
+int nbr0[8192];
+int nbr1[8192];
+int nbr2[8192];
+int ntri;
+
+// Shared worklist of (possibly stale) bad-triangle ids.
+int work[32768];
+int qhead;
+int qtail;
+
+int processed;
+int retriangulated;
+int skipped_stale;
+int cavity_sum;
+
+int bad(int t) {
+	// The generation cap models the geometric guarantee that refinement
+	// terminates: a cavity is only reworked a bounded number of times.
+	return alive[t] != 0 && quality[t] < 40 && generation[t] < 12;
+}
+
+void push_work(int t) {
+	if (qtail - qhead < QCAP) {
+		work[qtail % QCAP] = t;
+		qtail++;
+	}
+}
+
+// circumwork is the per-cavity numeric kernel: an iterative integer
+// "circumcenter" refinement on the triangle's coordinates.
+int circumwork(int t) {
+	int x = cx[t];
+	int y = cy[t];
+	int acc = 0;
+	for (int it = 0; it < 40; it++) {
+		x = (x * 73 + y * 31 + it) % 100003;
+		y = (y * 57 + x * 13 + 7) % 100019;
+		acc += (x ^ y) & 1023;
+	}
+	return acc;
+}
+
+// split_neighbor updates one neighbor of a retriangulated cavity; each
+// neighbor slot has its own statement block so the dependence web has
+// many distinct static edges, as in the real workqueue code.
+void split_neighbor0(int t, int fresh) {
+	int a = nbr0[t];
+	quality[a] = (quality[a] * 3 + fresh) / 4;
+	generation[a] = generation[t] + 1;
+	nbr0[t] = (a + 1) % ntri;
+	if (bad(a)) {
+		push_work(a);
+	}
+}
+
+void split_neighbor1(int t, int fresh) {
+	int b = nbr1[t];
+	quality[b] = (quality[b] * 5 + fresh) / 6;
+	generation[b] = generation[t] + 1;
+	nbr1[t] = (b + 2) % ntri;
+	if (bad(b)) {
+		push_work(b);
+	}
+}
+
+void split_neighbor2(int t, int fresh) {
+	int c = nbr2[t];
+	quality[c] = (quality[c] * 7 + fresh) / 8;
+	generation[c] = generation[t] + 1;
+	nbr2[t] = (c + 3) % ntri;
+	if (bad(c)) {
+		push_work(c);
+	}
+}
+
+// refine pops and fixes bad triangles until the worklist drains (the
+// construct the paper shows has hundreds of violating RAW dependences).
+void refine() {
+	while (qhead < qtail) {
+		int t = work[qhead % QCAP];
+		qhead++;
+		processed++;
+		if (!bad(t)) {
+			skipped_stale++;
+			continue;
+		}
+		int fresh = circumwork(t);
+		cavity_sum = (cavity_sum + fresh) & 16777215;
+		// Retriangulate: improve this triangle, degrade/update the three
+		// neighbors, each through distinct statements.
+		quality[t] = 40 + (fresh & 31);
+		cx[t] = (cx[t] + fresh) % 100003;
+		cy[t] = (cy[t] ^ fresh) % 100019;
+		generation[t] = generation[t] + 1;
+		retriangulated++;
+		split_neighbor0(t, fresh & 255);
+		split_neighbor1(t, (fresh >> 3) & 255);
+		split_neighbor2(t, (fresh >> 6) & 255);
+	}
+}
+
+int main() {
+	ntri = in(0);
+	if (ntri > MAXTRI) {
+		ntri = MAXTRI;
+	}
+	int p = 1;
+	for (int t = 0; t < ntri; t++) {
+		cx[t] = in(p);
+		p++;
+		cy[t] = in(p);
+		p++;
+		quality[t] = in(p) % 100;
+		p++;
+		alive[t] = 1;
+		nbr0[t] = (t + 1) % ntri;
+		nbr1[t] = (t + 7) % ntri;
+		nbr2[t] = (t * 13 + 5) % ntri;
+		if (quality[t] < 40) {
+			push_work(t);
+		}
+	}
+	refine();
+	out(processed);
+	out(retriangulated);
+	out(skipped_stale);
+	out(cavity_sum);
+	return 0;
+}
+`

@@ -1,0 +1,157 @@
+package progs
+
+// SrcGzip is the gzip-1.3.5 analog from the paper's Fig. 2: zip()
+// gathers literals, flag bits, and frequencies, calling flush_block()
+// whenever the pending buffer fills. flush_block encodes literals into a
+// bit buffer (bi_buf/bi_valid), emits bytes through the shared output
+// cursor outcnt, and resets last_flags — reproducing the exact
+// shared-state conflicts the paper reports: RAW on input_len and outcnt
+// across calls, WAW between flush_block's byte emission and the trailer
+// write, WAR on flag_buf and last_flags between the encode loop and the
+// next literals. main loops over the input files (the paper's loop at
+// line 3404, construct C1 of Fig. 6(a)): iterations are independent up to
+// the shared cursors, so C1 profiles as the big, nearly-violation-free
+// candidate, and flush_block as the next one after C1's subtree is
+// removed (Fig. 6(b)).
+const SrcGzip = `// gzip.mc: gzip-1.3.5 analog (paper Fig. 2 / Fig. 6(a)(b)).
+int BLOCKSZ = 512;
+int OUTSLICE = 32768;
+
+int filedata[65536];
+int filebase[8];
+int filelen[8];
+int nfiles;
+
+int freq[256];
+int match_hint[256];
+int pending[600];
+int npending;
+int flag_buf[600];
+int last_flags;
+int input_len;
+
+int outbuf[131072];
+int outcnt;
+int outlen[8];
+int bi_buf;
+int bi_valid;
+
+// flush_block encodes the pending literals into bits and emits them
+// (paper Fig. 2 lines 11-29).
+int flush_block(int final) {
+	flag_buf[last_flags] = final;
+	input_len += npending;
+	int i = 0;
+	do {
+		int flag = flag_buf[i];
+		int lit = pending[i];
+		if (flag != 0) {
+			bi_buf = bi_buf | ((lit & 255) << bi_valid);
+			bi_valid += 9;
+		} else {
+			bi_buf = bi_buf | ((lit & 15) << bi_valid);
+			bi_valid += 5;
+		}
+		if (bi_valid > 16) {
+			outbuf[outcnt] = bi_buf & 255;
+			outcnt++;
+			bi_buf = bi_buf >> 8;
+			bi_valid -= 8;
+		}
+		i++;
+	} while (i < npending);
+	last_flags = 0;
+	// Write out remaining bits.
+	outbuf[outcnt] = bi_buf & 255;
+	outcnt++;
+	bi_buf = 0;
+	bi_valid = 0;
+	int n = npending;
+	npending = 0;
+	return n;
+}
+
+// zip compresses one file, a literal at a time (paper Fig. 2 lines 1-10).
+int zip(int f) {
+	int base = filebase[f];
+	int n = filelen[f];
+	int total = 0;
+	int pos = 0;
+	while (pos < n) {
+		int c = filedata[base + pos] & 255;
+		freq[c] += 1;
+		// Hash-chain-style match search: gives zip's per-literal work the
+		// same dominance over flush_block that deflate() has in gzip.
+		int h = (c * 131) & 255;
+		int cand = match_hint[h];
+		int score = 0;
+		for (int k = 0; k < 12; k++) {
+			int probe = (cand + k) & 255;
+			score += freq[probe] & 7;
+		}
+		match_hint[h] = pos & 255;
+		pending[npending] = c + (score & 1);
+		npending++;
+		flag_buf[last_flags] = (c > 128) ? 1 : 0;
+		last_flags++;
+		if (npending >= BLOCKSZ) {
+			total += flush_block(0);
+		}
+		pos++;
+	}
+	total += flush_block(1);
+	return total;
+}
+
+void reset_state() {
+	for (int i = 0; i < 256; i++) {
+		freq[i] = 0;
+		match_hint[i] = 0;
+	}
+	npending = 0;
+	last_flags = 0;
+	bi_buf = 0;
+	bi_valid = 0;
+}
+
+int main() {
+	// Input framing: in(0) = file count, then each file's length and
+	// data.
+	nfiles = in(0);
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		for (int i = 0; i < n; i++) {
+			filedata[nextbase + i] = in(p);
+			p++;
+		}
+		nextbase += n;
+	}
+	// The per-file compression loop: the paper's loop at line 3404 (C1).
+	for (int f = 0; f < nfiles; f++) {
+		reset_state();
+		outcnt = f * OUTSLICE;
+		int total = zip(f);
+		// Trailer: reads outcnt right after the final flush_block (the
+		// violating RAW/WAW of Fig. 2/3).
+		outbuf[outcnt] = input_len & 255;
+		outcnt++;
+		outlen[f] = outcnt - f * OUTSLICE;
+		out(total);
+	}
+	out(input_len);
+	int ck = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int sbase = f * OUTSLICE;
+		for (int i = sbase; i < sbase + outlen[f]; i++) {
+			ck = (ck * 31 + outbuf[i]) & 16777215;
+		}
+	}
+	out(ck);
+	return 0;
+}
+`

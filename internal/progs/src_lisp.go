@@ -1,0 +1,122 @@
+package progs
+
+// SrcLisp is the 130.li (XLisp) analog (§IV.B.1): a small expression
+// interpreter with a cons heap. xlload is called once before the batch
+// loop and once per iteration, so the xlload construct (the paper's C1)
+// executes slightly more instructions than the batch loop (C2) — the
+// paper parallelized C2, which covers all but the initial xlload call.
+const SrcLisp = `// lisp.mc: 130.li (XLisp) analog (paper Fig. 6(d)).
+// Expressions are encoded prefix streams: 0 <n> is the literal n;
+// 1..4 <a> <b> apply +, -, *, / to subexpressions a and b;
+// 5 <a> is (inc a).
+int heap_car[32768];
+int heap_cdr[32768];
+int hp;
+
+int gc_count;
+int eval_count;
+int results;
+
+int filebase[64];
+int filelen[64];
+
+// cons allocates one cell; hp is the shared allocator cursor, a classic
+// loop-carried dependence of interpreters.
+int cons(int a, int d) {
+	if (hp >= 32768 - 1) {
+		// "Garbage collect": reset the nursery (expressions are
+		// self-contained per file, so cells do not survive).
+		hp = 0;
+		gc_count++;
+	}
+	int c = hp;
+	hp++;
+	heap_car[c] = a;
+	heap_cdr[c] = d;
+	return c;
+}
+
+// parse_expr builds the expression tree from the input stream starting at
+// position p; returns a cons cell index. It reports the next stream
+// position through a shared cursor.
+int cursor;
+
+int parse_expr() {
+	int op = in(cursor);
+	cursor++;
+	if (op == 0) {
+		int v = in(cursor);
+		cursor++;
+		return cons(0, cons(v, 0));
+	}
+	if (op == 5) {
+		int a = parse_expr();
+		return cons(5, cons(a, 0));
+	}
+	int a = parse_expr();
+	int b = parse_expr();
+	return cons(op, cons(a, cons(b, 0)));
+}
+
+int eval(int e) {
+	eval_count++;
+	int op = heap_car[e];
+	int args = heap_cdr[e];
+	if (op == 0) {
+		return heap_car[args];
+	}
+	if (op == 5) {
+		return eval(heap_car[args]) + 1;
+	}
+	int a = eval(heap_car[args]);
+	int b = eval(heap_car[heap_cdr[args]]);
+	if (op == 1) {
+		return a + b;
+	}
+	if (op == 2) {
+		return a - b;
+	}
+	if (op == 3) {
+		return a * b;
+	}
+	int d = (b == 0) ? 1 : b;
+	return a / d;
+}
+
+// xlload parses and evaluates every expression of one "file" (the
+// paper's C1).
+void xlload(int f) {
+	cursor = filebase[f];
+	int end = filebase[f] + filelen[f];
+	int acc = 0;
+	while (cursor < end) {
+		int e = parse_expr();
+		acc = (acc + eval(e)) & 1073741823;
+	}
+	results = (results + acc) & 1073741823;
+}
+
+int main() {
+	// Framing: in(0) = file count, then per file its stream length
+	// followed by the stream.
+	int nfiles = in(0);
+	int p = 1;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = p;
+		filelen[f] = n;
+		p += n;
+	}
+	// Initial load before the batch loop (gives C1 its extra instance).
+	xlload(0);
+	// The batch-processing control loop: the paper's parallelized C2.
+	for (int f = 1; f < nfiles; f++) {
+		xlload(f);
+	}
+	out(results);
+	out(eval_count);
+	out(gc_count);
+	return 0;
+}
+`

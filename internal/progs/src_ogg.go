@@ -1,0 +1,241 @@
+package progs
+
+// SrcOgg is the oggenc-1.0.1 analog (§IV.B.2): the main loop iterates
+// over WAV files, encoding each one with a windowed MDCT-like transform
+// and quantization. The shared `errors` flag and `samples_read` counter
+// produce the violating RAW dependences the paper reports for the file
+// loop; per-file output regions are disjoint.
+const SrcOgg = `// ogg.mc: oggenc analog (paper §IV.B.2).
+int FRAME = 64;
+
+int samples[65536];
+int filebase[8];
+int filelen[8];
+
+int errors;
+int samples_read;
+
+int window_tab[64];
+int outbuf[65536];
+int outpos[8];
+
+void init_window() {
+	for (int i = 0; i < FRAME; i++) {
+		// Integer "sine" window: triangle ramp.
+		int x = (i < FRAME / 2) ? i : (FRAME - 1 - i);
+		window_tab[i] = 16 + x;
+	}
+}
+
+// mdct_frame transforms one frame into coefficients (O(FRAME^2), the
+// encoder's hot kernel).
+void mdct_frame(int base, int coef[]) {
+	for (int k = 0; k < FRAME; k++) {
+		int acc = 0;
+		for (int i = 0; i < FRAME; i++) {
+			int s = samples[base + i] * window_tab[i];
+			int phase = ((2 * i + 1) * (2 * k + 1)) & 127;
+			int tw = (phase < 64) ? (64 - phase) : (phase - 128);
+			acc += s * tw;
+		}
+		coef[k] = acc >> 6;
+	}
+}
+
+int quantize(int c) {
+	int mag = (c < 0) ? (0 - c) : c;
+	int q = 0;
+	while (mag > 0) {
+		mag = mag >> 2;
+		q++;
+	}
+	return (c < 0) ? (0 - q) : q;
+}
+
+// encode_file encodes one WAV file into its output slice.
+void encode_file(int f) {
+	int base = filebase[f];
+	int n = filelen[f];
+	int pos = outpos[f];
+	int nframes = n / FRAME;
+	for (int fr = 0; fr < nframes; fr++) {
+		int coef[64];
+		mdct_frame(base + fr * FRAME, coef);
+		int nz = 0;
+		for (int k = 0; k < FRAME; k++) {
+			int q = quantize(coef[k]);
+			if (q != 0) {
+				outbuf[pos] = (k << 8) | (q & 255);
+				pos++;
+				nz++;
+			}
+		}
+		outbuf[pos] = 65536 + nz;
+		pos++;
+		// Shared counter: every file loop iteration bumps it (one of the
+		// paper's reported conflicts).
+		samples_read += FRAME;
+	}
+	if (n % FRAME != 0) {
+		// Trailing partial frame is an encoding anomaly in this analog:
+		// record it in the shared errors flag (the paper's other
+		// reported conflict).
+		errors = errors + 1;
+	}
+	outpos[f] = pos;
+}
+
+int main() {
+	init_window();
+	int nfiles = in(0);
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		for (int i = 0; i < n; i++) {
+			samples[nextbase + i] = in(p) - 512;
+			p++;
+		}
+		nextbase += n;
+		outpos[f] = f * 8192;
+	}
+	// The main loop over files: the construct parallelized in the paper.
+	for (int f = 0; f < nfiles; f++) {
+		encode_file(f);
+	}
+	int ck = 0;
+	int produced = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int sbase = f * 8192;
+		for (int i = sbase; i < outpos[f]; i++) {
+			ck = (ck * 31 + outbuf[i]) & 16777215;
+		}
+		produced += outpos[f] - sbase;
+	}
+	out(produced);
+	out(samples_read);
+	out(errors);
+	out(ck);
+	return 0;
+}
+`
+
+// SrcOggPar is the parallel oggenc: one thread per file with thread-local
+// errors flags and sample counters, merged after the join — the exact
+// privatization §IV.B.2 describes.
+const SrcOggPar = `// ogg_par.mc: oggenc parallelized per file with private counters.
+int FRAME = 64;
+
+int samples[65536];
+int filebase[8];
+int filelen[8];
+
+int errs_p[8];
+int samples_p[8];
+
+int window_tab[64];
+int outbuf[65536];
+int outpos[8];
+
+void init_window() {
+	for (int i = 0; i < FRAME; i++) {
+		int x = (i < FRAME / 2) ? i : (FRAME - 1 - i);
+		window_tab[i] = 16 + x;
+	}
+}
+
+void mdct_frame(int base, int coef[]) {
+	for (int k = 0; k < FRAME; k++) {
+		int acc = 0;
+		for (int i = 0; i < FRAME; i++) {
+			int s = samples[base + i] * window_tab[i];
+			int phase = ((2 * i + 1) * (2 * k + 1)) & 127;
+			int tw = (phase < 64) ? (64 - phase) : (phase - 128);
+			acc += s * tw;
+		}
+		coef[k] = acc >> 6;
+	}
+}
+
+int quantize(int c) {
+	int mag = (c < 0) ? (0 - c) : c;
+	int q = 0;
+	while (mag > 0) {
+		mag = mag >> 2;
+		q++;
+	}
+	return (c < 0) ? (0 - q) : q;
+}
+
+void encode_file(int f) {
+	int base = filebase[f];
+	int n = filelen[f];
+	int pos = outpos[f];
+	int nframes = n / FRAME;
+	for (int fr = 0; fr < nframes; fr++) {
+		int coef[64];
+		mdct_frame(base + fr * FRAME, coef);
+		int nz = 0;
+		for (int k = 0; k < FRAME; k++) {
+			int q = quantize(coef[k]);
+			if (q != 0) {
+				outbuf[pos] = (k << 8) | (q & 255);
+				pos++;
+				nz++;
+			}
+		}
+		outbuf[pos] = 65536 + nz;
+		pos++;
+		// Privatized counter: no conflict between threads.
+		samples_p[f] += FRAME;
+	}
+	if (n % FRAME != 0) {
+		errs_p[f] = errs_p[f] + 1;
+	}
+	outpos[f] = pos;
+}
+
+int main() {
+	init_window();
+	int nfiles = in(0);
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		for (int i = 0; i < n; i++) {
+			samples[nextbase + i] = in(p) - 512;
+			p++;
+		}
+		nextbase += n;
+		outpos[f] = f * 8192;
+	}
+	for (int f = 0; f < nfiles; f++) {
+		spawn encode_file(f);
+	}
+	sync;
+	int ck = 0;
+	int produced = 0;
+	int samples_read = 0;
+	int errors = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int sbase = f * 8192;
+		for (int i = sbase; i < outpos[f]; i++) {
+			ck = (ck * 31 + outbuf[i]) & 16777215;
+		}
+		produced += outpos[f] - sbase;
+		samples_read += samples_p[f];
+		errors += errs_p[f];
+	}
+	out(produced);
+	out(samples_read);
+	out(errors);
+	out(ck);
+	return 0;
+}
+`

@@ -1,0 +1,259 @@
+package progs
+
+// SrcPar2 is the par2cmdline analog (§IV.B.2): GF(2^8) Reed-Solomon
+// recovery-block computation. Par2Creator::OpenSourceFiles is the loop
+// over source files (its single violating RAW is the shared file-close
+// bookkeeping, which the paper's parallel version moved after the join);
+// Par2Creator::ProcessData is the loop over output blocks (violation-free
+// because each recovery block is disjoint).
+const SrcPar2 = `// par2.mc: par2cmdline analog (paper §IV.B.2).
+int NBLOCKS = 8;
+int BLOCKLEN = 2048;
+
+int gflog[256];
+int gfexp[512];
+
+int srcdata[65536];
+int srclen;
+int nfiles;
+int filebase[8];
+int filelen[8];
+int checksums[8];
+
+int open_files;
+int last_closed;
+
+int recovery[65536];
+
+// gf_init builds the GF(256) log/exp tables (generator 0x11d).
+void gf_init() {
+	int x = 1;
+	for (int i = 0; i < 255; i++) {
+		gfexp[i] = x;
+		gflog[x] = i;
+		x = x << 1;
+		if (x >= 256) {
+			x = (x ^ 285) & 255;
+		}
+	}
+	for (int i = 255; i < 512; i++) {
+		gfexp[i] = gfexp[i - 255];
+	}
+}
+
+int gf_mul(int a, int b) {
+	if (a == 0 || b == 0) {
+		return 0;
+	}
+	return gfexp[gflog[a] + gflog[b]];
+}
+
+// open_source_files loads and checksums each source file (the loop at
+// line 489). The file-close bookkeeping at the end of each iteration is
+// the single violating RAW dependence Alchemist reported.
+void open_source_files() {
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		int sum = 0;
+		for (int i = 0; i < n; i++) {
+			int v = in(p) & 255;
+			p++;
+			srcdata[nextbase + i] = v;
+			int h = v + i;
+			for (int r = 0; r < 6; r++) {
+				h = (h * 33 + (h >> 5)) & 16777215;
+			}
+			sum = (sum + h) & 16777215;
+		}
+		checksums[f] = sum;
+		nextbase += n;
+		// File-close bookkeeping on shared state.
+		open_files = open_files + 1;
+		last_closed = f;
+	}
+	srclen = nextbase;
+}
+
+// process_data computes the recovery blocks (the loop at line 887): each
+// output block b accumulates gf_mul(coeff(b, s), data[s]) over all input
+// slices into a disjoint output range.
+void process_data() {
+	int slices = srclen / BLOCKLEN;
+	for (int b = 0; b < NBLOCKS; b++) {
+		int rbase = b * BLOCKLEN;
+		for (int i = 0; i < BLOCKLEN; i++) {
+			recovery[rbase + i] = 0;
+		}
+		for (int s = 0; s < slices; s++) {
+			int coeff = gfexp[((b + 1) * (s + 1)) % 255];
+			int sbase = s * BLOCKLEN;
+			for (int i = 0; i < BLOCKLEN; i++) {
+				int d = srcdata[sbase + i];
+				recovery[rbase + i] = recovery[rbase + i] ^ gf_mul(coeff, d);
+			}
+		}
+	}
+}
+
+int main() {
+	gf_init();
+	nfiles = in(0);
+	open_source_files();
+	process_data();
+	int ck = 0;
+	for (int b = 0; b < NBLOCKS; b++) {
+		for (int i = 0; i < BLOCKLEN; i++) {
+			ck = (ck * 31 + recovery[b * BLOCKLEN + i]) & 16777215;
+		}
+	}
+	out(open_files);
+	out(last_closed);
+	out(ck);
+	int csum = 0;
+	for (int f = 0; f < nfiles; f++) {
+		csum = (csum + checksums[f]) & 16777215;
+	}
+	out(csum);
+	return 0;
+}
+`
+
+// SrcPar2Par parallelizes both loops as the paper did: recovery blocks
+// are distributed across threads (line 887), and source-file loading
+// moves the file-close bookkeeping after the join (line 489's fix).
+const SrcPar2Par = `// par2_par.mc: par2 parallelized over recovery blocks.
+int NBLOCKS = 8;
+int BLOCKLEN = 2048;
+int NTHREADS = 4;
+
+int gflog[256];
+int gfexp[512];
+
+int srcdata[65536];
+int srclen;
+int nfiles;
+int filebase[8];
+int filelen[8];
+int checksums[8];
+
+int open_files;
+int last_closed;
+
+int recovery[65536];
+
+void gf_init() {
+	int x = 1;
+	for (int i = 0; i < 255; i++) {
+		gfexp[i] = x;
+		gflog[x] = i;
+		x = x << 1;
+		if (x >= 256) {
+			x = (x ^ 285) & 255;
+		}
+	}
+	for (int i = 255; i < 512; i++) {
+		gfexp[i] = gfexp[i - 255];
+	}
+}
+
+int gf_mul(int a, int b) {
+	if (a == 0 || b == 0) {
+		return 0;
+	}
+	return gfexp[gflog[a] + gflog[b]];
+}
+
+// load_file loads and hashes one source file. Loading stays sequential
+// in the parallel version — it models file I/O, which bounds the paper's
+// par2 speedup at 1.78 — but the close bookkeeping is hoisted after all
+// loads, which is how the paper's parallel version resolved the reported
+// conflict.
+void load_file(int f, int p, int base, int n) {
+	int sum = 0;
+	for (int i = 0; i < n; i++) {
+		int v = in(p + i) & 255;
+		srcdata[base + i] = v;
+		int h = v + i;
+		for (int r = 0; r < 6; r++) {
+			h = (h * 33 + (h >> 5)) & 16777215;
+		}
+		sum = (sum + h) & 16777215;
+	}
+	checksums[f] = sum;
+}
+
+void process_range(int bstart, int bcount) {
+	int slices = srclen / BLOCKLEN;
+	for (int b = bstart; b < bstart + bcount; b++) {
+		int rbase = b * BLOCKLEN;
+		for (int i = 0; i < BLOCKLEN; i++) {
+			recovery[rbase + i] = 0;
+		}
+		for (int s = 0; s < slices; s++) {
+			int coeff = gfexp[((b + 1) * (s + 1)) % 255];
+			int sbase = s * BLOCKLEN;
+			for (int i = 0; i < BLOCKLEN; i++) {
+				int d = srcdata[sbase + i];
+				recovery[rbase + i] = recovery[rbase + i] ^ gf_mul(coeff, d);
+			}
+		}
+	}
+}
+
+int main() {
+	gf_init();
+	nfiles = in(0);
+	// File loading is I/O and stays sequential; the close bookkeeping is
+	// moved after all loads complete.
+	int p = 1;
+	int nextbase = 0;
+	for (int f = 0; f < nfiles; f++) {
+		int n = in(p);
+		p++;
+		filebase[f] = nextbase;
+		filelen[f] = n;
+		load_file(f, p, nextbase, n);
+		p += n;
+		nextbase += n;
+	}
+	for (int f = 0; f < nfiles; f++) {
+		open_files = open_files + 1;
+		last_closed = f;
+	}
+	srclen = nextbase;
+	// Recovery blocks distributed evenly across threads (the paper's
+	// line-887 transformation).
+	int per = (NBLOCKS + NTHREADS - 1) / NTHREADS;
+	for (int t = 0; t < NTHREADS; t++) {
+		int start = t * per;
+		int cnt = per;
+		if (start + cnt > NBLOCKS) {
+			cnt = NBLOCKS - start;
+		}
+		if (cnt > 0) {
+			spawn process_range(start, cnt);
+		}
+	}
+	sync;
+	int ck = 0;
+	for (int b = 0; b < NBLOCKS; b++) {
+		for (int i = 0; i < BLOCKLEN; i++) {
+			ck = (ck * 31 + recovery[b * BLOCKLEN + i]) & 16777215;
+		}
+	}
+	out(open_files);
+	out(last_closed);
+	out(ck);
+	int csum = 0;
+	for (int f = 0; f < nfiles; f++) {
+		csum = (csum + checksums[f]) & 16777215;
+	}
+	out(csum);
+	return 0;
+}
+`

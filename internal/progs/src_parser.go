@@ -1,0 +1,126 @@
+package progs
+
+// SrcParser is the 197.parser analog (§IV.B.1): read_dictionary and
+// read_entry load a word dictionary (large constructs, dependence-clean
+// but I/O-bound, like the paper's C1/C2), and the batch loop over
+// sentences (the paper's loop at line 1302, C3) parses each sentence
+// against the dictionary with per-sentence scratch state plus small
+// shared statistics counters — the construct that was actually
+// parallelized.
+const SrcParser = `// parser.mc: 197.parser analog (paper Fig. 6(c)).
+int HSIZE = 4096;
+int HMASK = 4095;
+
+int dict_keys[4096];
+int dict_cost[4096];
+int dict_n;
+
+int num_parsed;
+int num_failed;
+int total_links;
+
+// read_entry inserts one dictionary word with its derived morphology
+// cost (the paper's C2; the per-word work makes the dictionary phase as
+// heavy as it is in 197.parser, where C1/C2 dominate the profile).
+void read_entry(int idx, int w) {
+	// Morphology: derive a connector cost from the word's "suffix forms".
+	int cost = 1;
+	int x = w;
+	for (int k = 0; k < 60; k++) {
+		x = (x * 48271) % 2147483647;
+		cost += (x >> 7) & 3;
+	}
+	int h = (w * 2654435761) & HMASK;
+	while (dict_keys[h] != 0) {
+		h = (h + 1) & HMASK;
+	}
+	dict_keys[h] = w;
+	dict_cost[h] = (cost % 7) + 1;
+	dict_n++;
+}
+
+// read_dictionary loads every word (the paper's C1; in the original this
+// is I/O bound, which is why it cannot be parallelized despite its clean
+// profile).
+void read_dictionary() {
+	int n = in(0);
+	for (int i = 0; i < n; i++) {
+		read_entry(i, in(1 + i) | 1);
+	}
+}
+
+// lookup probes the hash table; dictionary reads are the long-distance
+// RAW edges from the load phase.
+int lookup(int w) {
+	int h = (w * 2654435761) & HMASK;
+	int steps = 0;
+	while (steps < HSIZE) {
+		if (dict_keys[h] == w) {
+			return dict_cost[h];
+		}
+		if (dict_keys[h] == 0) {
+			return 0;
+		}
+		h = (h + 1) & HMASK;
+		steps++;
+	}
+	return 0;
+}
+
+// parse builds a CKY-style chart for one sentence held in a private
+// buffer; only the statistics updates touch shared memory.
+int parse(int words[], int n) {
+	int chart[1024];
+	for (int i = 0; i < n; i++) {
+		int c = lookup(words[i] | 1);
+		chart[i * n + i] = c;
+	}
+	for (int span = 2; span <= n; span++) {
+		for (int i = 0; i + span <= n; i++) {
+			int j = i + span - 1;
+			int best = 0;
+			for (int k = i; k < j; k++) {
+				int l = chart[i * n + k];
+				int r = chart[(k + 1) * n + j];
+				if (l > 0 && r > 0) {
+					int cost = l + r + ((words[i] ^ words[j]) & 3);
+					if (best == 0 || cost < best) {
+						best = cost;
+					}
+				}
+			}
+			chart[i * n + j] = best;
+		}
+	}
+	return chart[n - 1];
+}
+
+int main() {
+	read_dictionary();
+	int ndict = in(0);
+	int base = 1 + ndict;
+	int nsent = in(base);
+	base++;
+	// The batch loop over sentences: the paper's parallelized C3.
+	for (int s = 0; s < nsent; s++) {
+		int len = in(base);
+		base++;
+		int words[32];
+		for (int i = 0; i < len; i++) {
+			words[i] = in(base);
+			base++;
+		}
+		int links = parse(words, len);
+		if (links > 0) {
+			num_parsed++;
+			total_links += links;
+		} else {
+			num_failed++;
+		}
+	}
+	out(num_parsed);
+	out(num_failed);
+	out(total_links);
+	return 0;
+}
+`

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"alchemist/internal/core"
+)
+
+// DiffEntry describes how one construct's violating dependences changed
+// between two profiles of the same program — e.g. before and after a
+// source transformation (did privatizing flag_buf actually remove the
+// WAR edges?), or between two inputs.
+type DiffEntry struct {
+	Label int
+	Name  string
+	// Introduced are violating edges present only in the new profile;
+	// Resolved are violating edges present only in the old one.
+	Introduced []core.Edge
+	Resolved   []core.Edge
+	// OldDur/NewDur are the mean durations.
+	OldDur int64
+	NewDur int64
+	// OnlyInOld/OnlyInNew mark constructs that exist in just one profile
+	// (the transformation removed or introduced the construct).
+	OnlyInOld bool
+	OnlyInNew bool
+}
+
+// Changed reports whether the entry carries any difference worth showing.
+func (d DiffEntry) Changed() bool {
+	return len(d.Introduced) > 0 || len(d.Resolved) > 0 || d.OnlyInOld || d.OnlyInNew
+}
+
+// Diff compares the violating-dependence sets of two profiles. Profiles
+// must come from the same compiled program so labels align.
+func Diff(oldP, newP *core.Profile) ([]DiffEntry, error) {
+	if oldP.Program != newP.Program {
+		return nil, fmt.Errorf("report: diffing profiles of different programs")
+	}
+	var out []DiffEntry
+	seen := map[int]bool{}
+
+	violSet := func(c *core.ConstructStat) map[core.EdgeKey]core.Edge {
+		m := map[core.EdgeKey]core.Edge{}
+		for _, t := range []core.DepType{core.RAW, core.WAR, core.WAW} {
+			for _, e := range c.ViolatingEdges(t) {
+				m[core.EdgeKey{HeadPC: int32(e.HeadPC), TailPC: int32(e.TailPC), Type: e.Type}] = e
+			}
+		}
+		return m
+	}
+
+	for _, oc := range oldP.Constructs {
+		seen[oc.Label] = true
+		nc := newP.Construct(oc.Label)
+		entry := DiffEntry{Label: oc.Label, Name: ConstructName(oc), OldDur: oc.MeanDur()}
+		if nc == nil {
+			entry.OnlyInOld = true
+			out = append(out, entry)
+			continue
+		}
+		entry.NewDur = nc.MeanDur()
+		ov, nv := violSet(oc), violSet(nc)
+		for k, e := range nv {
+			if _, ok := ov[k]; !ok {
+				entry.Introduced = append(entry.Introduced, e)
+			}
+		}
+		for k, e := range ov {
+			if _, ok := nv[k]; !ok {
+				entry.Resolved = append(entry.Resolved, e)
+			}
+		}
+		if entry.Changed() {
+			out = append(out, entry)
+		}
+	}
+	for _, nc := range newP.Constructs {
+		if !seen[nc.Label] {
+			out = append(out, DiffEntry{
+				Label: nc.Label, Name: ConstructName(nc),
+				NewDur: nc.MeanDur(), OnlyInNew: true,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteDiff renders a diff as text.
+func WriteDiff(w io.Writer, entries []DiffEntry) {
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "no violating-dependence changes")
+		return
+	}
+	for _, d := range entries {
+		switch {
+		case d.OnlyInOld:
+			fmt.Fprintf(w, "- %s: construct gone\n", d.Name)
+			continue
+		case d.OnlyInNew:
+			fmt.Fprintf(w, "+ %s: new construct\n", d.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %s (dur %d -> %d)\n", d.Name, d.OldDur, d.NewDur)
+		for _, e := range d.Resolved {
+			fmt.Fprintf(w, "    - resolved %s line %d -> line %d (Tdep=%d)\n",
+				e.Type, e.HeadPos.Line, e.TailPos.Line, e.MinDist)
+		}
+		for _, e := range d.Introduced {
+			fmt.Fprintf(w, "    + introduced %s line %d -> line %d (Tdep=%d)\n",
+				e.Type, e.HeadPos.Line, e.TailPos.Line, e.MinDist)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/core"
+	"alchemist/internal/report"
+	"alchemist/internal/vm"
+)
+
+// The conflict in handle() is input-dependent, so profiles on different
+// inputs diff in their violating sets.
+const diffSrc = `
+int shared;
+int done[16];
+void handle(int i, int mode) {
+	int acc = 0;
+	for (int k = 0; k < 50; k++) { acc += k ^ i; }
+	if (mode == 1) {
+		shared = acc;
+	}
+	done[i & 15] = acc;
+}
+int main() {
+	int n = inlen() / 2;
+	for (int i = 0; i < n; i++) {
+		handle(in(2 * i), in(2 * i + 1));
+		int audit = shared;
+		out(audit & 1);
+	}
+	return 0;
+}`
+
+func diffProfiles(t *testing.T) (*core.Profile, *core.Profile) {
+	t.Helper()
+	prog, err := compile.Build("d.mc", diffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode int64) *core.Profile {
+		var input []int64
+		for i := int64(0); i < 20; i++ {
+			input = append(input, i, mode)
+		}
+		p, _, err := core.ProfileProgram(prog, vm.Config{Input: input}, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return run(0), run(1)
+}
+
+func TestDiffDetectsIntroducedViolations(t *testing.T) {
+	clean, dirty := diffProfiles(t)
+	entries, err := report.Diff(clean, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	introduced := 0
+	for _, d := range entries {
+		introduced += len(d.Introduced)
+		if len(d.Resolved) > 0 {
+			t.Errorf("unexpected resolved edges in %s: %+v", d.Name, d.Resolved)
+		}
+	}
+	if introduced == 0 {
+		t.Fatal("mode-1 run should introduce violating edges")
+	}
+	// Reverse direction: the same edges show as resolved.
+	rev, err := report.Diff(dirty, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, d := range rev {
+		resolved += len(d.Resolved)
+	}
+	if resolved != introduced {
+		t.Errorf("asymmetric diff: %d introduced vs %d resolved", introduced, resolved)
+	}
+
+	var sb strings.Builder
+	report.WriteDiff(&sb, entries)
+	if !strings.Contains(sb.String(), "+ introduced") {
+		t.Errorf("diff rendering:\n%s", sb.String())
+	}
+}
+
+func TestDiffIdenticalProfiles(t *testing.T) {
+	clean, _ := diffProfiles(t)
+	entries, err := report.Diff(clean, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("self-diff produced %d entries", len(entries))
+	}
+	var sb strings.Builder
+	report.WriteDiff(&sb, entries)
+	if !strings.Contains(sb.String(), "no violating-dependence changes") {
+		t.Errorf("empty diff rendering: %q", sb.String())
+	}
+}
+
+func TestDiffRejectsDifferentPrograms(t *testing.T) {
+	a := profileSrc(t, sampleSrc)
+	b := profileSrc(t, sampleSrc) // separate compile: different Program
+	if _, err := report.Diff(a, b); err == nil {
+		t.Error("cross-program diff accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"alchemist/internal/core"
+)
+
+// JSONProfile is the machine-readable form of a profile, for downstream
+// tooling (plotting Fig. 6, diffing profiles between runs, CI gates).
+type JSONProfile struct {
+	TotalSteps        int64           `json:"total_steps"`
+	StaticConstructs  int64           `json:"static_constructs"`
+	DynamicConstructs int64           `json:"dynamic_constructs"`
+	Constructs        []JSONConstruct `json:"constructs"`
+}
+
+// JSONConstruct is one construct row.
+type JSONConstruct struct {
+	Label     int        `json:"label"`
+	Kind      string     `json:"kind"`
+	Name      string     `json:"name"`
+	Line      int        `json:"line"`
+	Func      string     `json:"func"`
+	Ttotal    int64      `json:"ttotal"`
+	Instances int64      `json:"instances"`
+	MeanDur   int64      `json:"mean_dur"`
+	MinDur    int64      `json:"min_dur"`
+	MaxDur    int64      `json:"max_dur"`
+	Edges     []JSONEdge `json:"edges,omitempty"`
+}
+
+// JSONEdge is one static dependence edge.
+type JSONEdge struct {
+	Type     string `json:"type"`
+	HeadLine int    `json:"head_line"`
+	TailLine int    `json:"tail_line"`
+	HeadPC   int    `json:"head_pc"`
+	TailPC   int    `json:"tail_pc"`
+	MinDist  int64  `json:"min_dist"`
+	Count    int64  `json:"count"`
+	Violates bool   `json:"violates"`
+}
+
+// ToJSON converts a profile into its machine-readable form.
+func ToJSON(p *core.Profile) *JSONProfile {
+	out := &JSONProfile{
+		TotalSteps:        p.TotalSteps,
+		StaticConstructs:  p.StaticConstructs,
+		DynamicConstructs: p.DynamicConstructs,
+	}
+	for _, c := range p.Constructs {
+		jc := JSONConstruct{
+			Label:     c.Label,
+			Kind:      c.Kind.String(),
+			Name:      ConstructName(c),
+			Line:      c.Pos.Line,
+			Func:      c.FuncName,
+			Ttotal:    c.Ttotal,
+			Instances: c.Instances,
+			MeanDur:   c.MeanDur(),
+			MinDur:    c.MinDur,
+			MaxDur:    c.MaxDur,
+		}
+		dur := c.MeanDur()
+		for _, e := range c.Edges {
+			jc.Edges = append(jc.Edges, JSONEdge{
+				Type:     e.Type.String(),
+				HeadLine: e.HeadPos.Line,
+				TailLine: e.TailPos.Line,
+				HeadPC:   e.HeadPC,
+				TailPC:   e.TailPC,
+				MinDist:  e.MinDist,
+				Count:    e.Count,
+				Violates: e.Violates(dur),
+			})
+		}
+		out.Constructs = append(out.Constructs, jc)
+	}
+	return out
+}
+
+// WriteJSON writes the profile as indented JSON.
+func WriteJSON(w io.Writer, p *core.Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(p))
+}

@@ -1,0 +1,56 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"alchemist/internal/report"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report.JSONProfile
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.TotalSteps != p.TotalSteps {
+		t.Errorf("steps %d != %d", decoded.TotalSteps, p.TotalSteps)
+	}
+	if int64(len(decoded.Constructs)) != p.StaticConstructs {
+		t.Errorf("constructs %d != %d", len(decoded.Constructs), p.StaticConstructs)
+	}
+	// First construct is main with rank-1 size.
+	if decoded.Constructs[0].Func != "main" {
+		t.Errorf("top construct %+v", decoded.Constructs[0])
+	}
+	// Edge fields carry violation status consistent with the source
+	// profile.
+	foundEdge := false
+	for _, jc := range decoded.Constructs {
+		src := p.Construct(jc.Label)
+		if src == nil {
+			t.Fatalf("label %d missing in source profile", jc.Label)
+		}
+		if jc.Instances != src.Instances || jc.Ttotal != src.Ttotal {
+			t.Errorf("construct %d fields diverge", jc.Label)
+		}
+		dur := src.MeanDur()
+		for i, je := range jc.Edges {
+			foundEdge = true
+			if je.Violates != src.Edges[i].Violates(dur) {
+				t.Errorf("edge %d violation flag diverges", i)
+			}
+			if je.MinDist != src.Edges[i].MinDist {
+				t.Errorf("edge %d distance diverges", i)
+			}
+		}
+	}
+	if !foundEdge {
+		t.Error("no edges serialized")
+	}
+}

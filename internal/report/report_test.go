@@ -1,0 +1,233 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/core"
+	"alchemist/internal/report"
+	"alchemist/internal/vm"
+)
+
+func profileSrc(t *testing.T, src string) *core.Profile {
+	t.Helper()
+	p, _, err := core.ProfileSource("t.mc", src, vm.Config{}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sampleSrc = `
+int v;
+int sink;
+void produce() { v = 1; }
+int main() {
+	for (int i = 0; i < 30; i++) {
+		produce();
+		sink = v + i;
+	}
+	return 0;
+}`
+
+func TestTextProfile(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	text := report.Text(p, report.Options{Top: 5, ShowAllEdges: true})
+	if !strings.Contains(text, "Method main") {
+		t.Errorf("missing main:\n%s", text)
+	}
+	if !strings.Contains(text, "Method produce") {
+		t.Errorf("missing produce:\n%s", text)
+	}
+	if !strings.Contains(text, "RAW") {
+		t.Errorf("missing RAW edge:\n%s", text)
+	}
+	if !strings.Contains(text, "Loop (main") {
+		t.Errorf("missing loop construct:\n%s", text)
+	}
+}
+
+func TestTextTopAndMinTtotal(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	lines := strings.Split(report.Text(p, report.Options{Top: 2}), "\n")
+	constructs := 0
+	for _, l := range lines {
+		if strings.Contains(l, "Tdur=") {
+			constructs++
+		}
+	}
+	if constructs != 2 {
+		t.Errorf("Top=2 printed %d constructs", constructs)
+	}
+	// A huge MinTtotal filters everything.
+	text := report.Text(p, report.Options{MinTtotal: 1 << 60})
+	if strings.Contains(text, "Tdur=") {
+		t.Error("MinTtotal filter failed")
+	}
+}
+
+func TestTypesFilter(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	rawOnly := report.Text(p, report.Options{ShowAllEdges: true})
+	if strings.Contains(rawOnly, "WAW") || strings.Contains(rawOnly, "WAR") {
+		t.Error("default filter leaked WAW/WAR edges")
+	}
+	all := report.Text(p, report.Options{ShowAllEdges: true,
+		Types: []core.DepType{core.RAW, core.WAR, core.WAW}})
+	if !strings.Contains(all, "WAW") {
+		t.Error("WAW missing with all types enabled")
+	}
+}
+
+func TestConstructName(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	m := p.ConstructForFunc("main")
+	if got := report.ConstructName(m); got != "Method main" {
+		t.Errorf("name = %q", got)
+	}
+	for _, c := range p.Constructs {
+		name := report.ConstructName(c)
+		if name == "" {
+			t.Error("empty construct name")
+		}
+	}
+}
+
+func TestFig6Normalization(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	pts := report.Fig6(p, 0, nil)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// main is the largest: normalized size 1.0, rank 1.
+	if pts[0].Rank != 1 || pts[0].SizeNorm != 1.0 {
+		t.Errorf("top point = %+v", pts[0])
+	}
+	// Sizes are non-increasing and within [0,1]; violation shares sum to
+	// <= 1 over all constructs (equality when top = all).
+	sum := 0.0
+	for i, pt := range pts {
+		if pt.SizeNorm < 0 || pt.SizeNorm > 1 {
+			t.Errorf("point %d size %f out of range", i, pt.SizeNorm)
+		}
+		if i > 0 && pts[i-1].Ttotal < pt.Ttotal {
+			t.Error("points not sorted by size")
+		}
+		sum += pt.ViolNorm
+	}
+	if sum > 1.0001 {
+		t.Errorf("violation shares sum to %f", sum)
+	}
+}
+
+func TestFig6TopAndExclude(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	pts := report.Fig6(p, 2, nil)
+	if len(pts) != 2 {
+		t.Fatalf("top=2 gave %d points", len(pts))
+	}
+	excluded := report.Fig6(p, 0, map[int]bool{pts[0].Label: true})
+	for _, pt := range excluded {
+		if pt.Label == pts[0].Label {
+			t.Error("excluded construct still present")
+		}
+	}
+}
+
+func TestRemoveParallelized(t *testing.T) {
+	// produce() runs exactly once per loop iteration: parallelizing the
+	// loop removes produce too.
+	p := profileSrc(t, sampleSrc)
+	var loop *core.ConstructStat
+	for _, c := range p.Constructs {
+		if c.Kind == 1 { // KindLoop
+			loop = c
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop")
+	}
+	removed := report.RemoveParallelized(p, loop.Label)
+	if !removed[loop.Label] {
+		t.Error("loop itself not removed")
+	}
+	produce := p.ConstructForFunc("produce")
+	if !removed[produce.Label] {
+		t.Error("produce (one instance per iteration) not removed")
+	}
+	main := p.ConstructForFunc("main")
+	if removed[main.Label] {
+		t.Error("main wrongly removed")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var b strings.Builder
+	report.WriteTable3(&b, []report.Table3Row{
+		{Benchmark: "x", LOC: 10, Static: 5, Dynamic: 100, OrigSeconds: 0.5, ProfSeconds: 5},
+	})
+	if !strings.Contains(b.String(), "10.0") {
+		t.Errorf("table3 slowdown missing:\n%s", b.String())
+	}
+	if (report.Table3Row{}).Slowdown() != 0 {
+		t.Error("zero-orig slowdown should be 0")
+	}
+
+	b.Reset()
+	report.WriteTable4(&b, []report.Table4Row{{Program: "p", Location: "loc", RAW: 1, WAW: 2, WAR: 3}})
+	if !strings.Contains(b.String(), "loc") {
+		t.Error("table4 row missing")
+	}
+
+	b.Reset()
+	row := report.Table5Row{Benchmark: "b", Workers: 4, SeqSteps: 100, ParSteps: 25}
+	report.WriteTable5(&b, []report.Table5Row{row})
+	if !strings.Contains(b.String(), "4.00") {
+		t.Errorf("table5 speedup missing:\n%s", b.String())
+	}
+	if (report.Table5Row{}).Speedup() != 0 {
+		t.Error("zero-par speedup should be 0")
+	}
+}
+
+func TestTable4For(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	row := report.Table4For("prog", p, p.ConstructForFunc("produce"))
+	if row.Program != "prog" || !strings.Contains(row.Location, "produce") {
+		t.Errorf("row = %+v", row)
+	}
+}
+
+func TestRank(t *testing.T) {
+	p := profileSrc(t, sampleSrc)
+	if r := report.Rank(p, p.Constructs[0].Label); r != 1 {
+		t.Errorf("rank of largest = %d", r)
+	}
+	if r := report.Rank(p, -12345); r != 0 {
+		t.Errorf("rank of absent = %d", r)
+	}
+}
+
+func TestSortPointsByViolations(t *testing.T) {
+	pts := []report.Point{
+		{Rank: 1, Violations: 5, Ttotal: 100},
+		{Rank: 2, Violations: 0, Ttotal: 50},
+		{Rank: 3, Violations: 0, Ttotal: 80},
+	}
+	sorted := report.SortPointsByViolations(pts)
+	if sorted[0].Rank != 3 || sorted[1].Rank != 2 || sorted[2].Rank != 1 {
+		t.Errorf("sorted = %+v", sorted)
+	}
+	// Input untouched.
+	if pts[0].Rank != 1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestWriteFig6(t *testing.T) {
+	var b strings.Builder
+	report.WriteFig6(&b, []report.Point{{Rank: 1, Name: "Method main", Ttotal: 10, SizeNorm: 1}})
+	if !strings.Contains(b.String(), "C1") || !strings.Contains(b.String(), "Method main") {
+		t.Errorf("fig6 output:\n%s", b.String())
+	}
+}

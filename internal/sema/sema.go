@@ -1,0 +1,625 @@
+// Package sema performs name resolution and type checking for mini-C.
+//
+// mini-C has two value types (int, int[]) plus void function results. Sema
+// resolves every identifier to a Symbol, assigns frame slots to locals and
+// parameters, types every expression, and validates calls against both
+// user-defined functions and the builtin table.
+package sema
+
+import (
+	"alchemist/internal/ast"
+	"alchemist/internal/source"
+	"alchemist/internal/token"
+)
+
+// SymbolKind classifies where a variable lives.
+type SymbolKind int
+
+const (
+	// GlobalScalar is a global int, stored in tracked flat memory.
+	GlobalScalar SymbolKind = iota
+	// GlobalArray is a global int array in tracked flat memory.
+	GlobalArray
+	// LocalScalar is a function-local int held in a VM register
+	// (untracked, like a register-allocated C local).
+	LocalScalar
+	// LocalArray is a function-local array; its storage is bump-allocated
+	// in tracked flat memory per activation.
+	LocalArray
+	// ParamScalar is an int parameter (register).
+	ParamScalar
+	// ParamArray is an array parameter (register holding a base address).
+	ParamArray
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case GlobalScalar:
+		return "global int"
+	case GlobalArray:
+		return "global array"
+	case LocalScalar:
+		return "local int"
+	case LocalArray:
+		return "local array"
+	case ParamScalar:
+		return "param int"
+	case ParamArray:
+		return "param array"
+	}
+	return "?"
+}
+
+// IsArray reports whether the symbol holds an array reference.
+func (k SymbolKind) IsArray() bool {
+	return k == GlobalArray || k == LocalArray || k == ParamArray
+}
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Pos  source.Pos
+	// Slot is the frame register index for locals/params, or the global
+	// index for globals (assigned in declaration order).
+	Slot int
+	// Decl is the declaration for globals and local variables (nil for
+	// parameters).
+	Decl *ast.VarDecl
+}
+
+// Builtin identifies a builtin function.
+type Builtin int
+
+// Builtins. See the vm package for their runtime semantics.
+const (
+	BuiltinNone Builtin = iota
+	BuiltinPrint
+	BuiltinLen
+	BuiltinAlloc
+	BuiltinRand
+	BuiltinSrand
+	BuiltinIn
+	BuiltinInLen
+	BuiltinOut
+	BuiltinAssert
+)
+
+var builtins = map[string]Builtin{
+	"print":  BuiltinPrint,
+	"len":    BuiltinLen,
+	"alloc":  BuiltinAlloc,
+	"rand":   BuiltinRand,
+	"srand":  BuiltinSrand,
+	"in":     BuiltinIn,
+	"inlen":  BuiltinInLen,
+	"out":    BuiltinOut,
+	"assert": BuiltinAssert,
+}
+
+// FuncInfo summarizes a checked function.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	// Params are the parameter symbols in order.
+	Params []*Symbol
+	// NumSlots is the number of frame registers the function needs
+	// (params + scalar locals + array-reference locals).
+	NumSlots int
+	// Locals lists every local symbol (for diagnostics and tooling).
+	Locals []*Symbol
+}
+
+// Info is the result of type checking a program.
+type Info struct {
+	Program *ast.Program
+	// Uses maps every variable identifier to its resolved symbol.
+	Uses map[*ast.Ident]*Symbol
+	// CalleeFunc maps calls to user-defined functions.
+	CalleeFunc map[*ast.CallExpr]*FuncInfo
+	// CalleeBuiltin maps calls to builtins.
+	CalleeBuiltin map[*ast.CallExpr]Builtin
+	// Types records the type of every expression.
+	Types map[ast.Expr]ast.TypeKind
+	// Funcs maps function names to their info.
+	Funcs map[string]*FuncInfo
+	// Globals lists global symbols in declaration order.
+	Globals []*Symbol
+}
+
+// Check resolves and type-checks prog. It always returns an Info; callers
+// must consult diags for errors before trusting it.
+func Check(prog *ast.Program, diags *source.DiagList) *Info {
+	c := &checker{
+		info: &Info{
+			Program:       prog,
+			Uses:          make(map[*ast.Ident]*Symbol),
+			CalleeFunc:    make(map[*ast.CallExpr]*FuncInfo),
+			CalleeBuiltin: make(map[*ast.CallExpr]Builtin),
+			Types:         make(map[ast.Expr]ast.TypeKind),
+			Funcs:         make(map[string]*FuncInfo),
+		},
+		diags: diags,
+	}
+	c.checkProgram(prog)
+	return c.info
+}
+
+type checker struct {
+	info  *Info
+	diags *source.DiagList
+
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncInfo
+	loops   int
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.diags.Errorf(pos, format, args...)
+}
+
+func (c *checker) checkProgram(prog *ast.Program) {
+	c.globals = make(map[string]*Symbol)
+	for i, g := range prog.Globals {
+		if _, exists := c.globals[g.Name]; exists {
+			c.errorf(g.Pos(), "duplicate global %q", g.Name)
+			continue
+		}
+		kind := GlobalScalar
+		if g.IsArray {
+			kind = GlobalArray
+			if g.Size == nil {
+				c.errorf(g.Pos(), "global array %q must have a constant size", g.Name)
+			} else if _, ok := ConstValue(g.Size); !ok {
+				c.errorf(g.Size.Pos(), "global array size for %q must be a constant expression", g.Name)
+			}
+		} else if g.Init != nil {
+			if _, ok := ConstValue(g.Init); !ok {
+				c.errorf(g.Init.Pos(), "global initializer for %q must be a constant expression", g.Name)
+			}
+		}
+		sym := &Symbol{Name: g.Name, Kind: kind, Pos: g.Pos(), Slot: i, Decl: g}
+		c.globals[g.Name] = sym
+		c.info.Globals = append(c.info.Globals, sym)
+	}
+
+	// Pre-declare all functions so order does not matter.
+	for _, f := range prog.Funcs {
+		if _, exists := c.info.Funcs[f.Name]; exists {
+			c.errorf(f.Pos(), "duplicate function %q", f.Name)
+			continue
+		}
+		if _, isBuiltin := builtins[f.Name]; isBuiltin {
+			c.errorf(f.Pos(), "function %q shadows a builtin", f.Name)
+			continue
+		}
+		c.info.Funcs[f.Name] = &FuncInfo{Decl: f}
+	}
+
+	for _, f := range prog.Funcs {
+		fi := c.info.Funcs[f.Name]
+		if fi == nil || fi.Decl != f {
+			continue // duplicate
+		}
+		c.checkFunc(fi)
+	}
+
+	if main := c.info.Funcs["main"]; main == nil {
+		pos := source.Pos{}
+		if prog.File != nil {
+			pos = prog.File.Pos(0)
+		}
+		c.errorf(pos, "program has no main function")
+	} else if len(main.Decl.Params) != 0 {
+		c.errorf(main.Decl.Pos(), "main must take no parameters")
+	}
+}
+
+func (c *checker) checkFunc(fi *FuncInfo) {
+	c.fn = fi
+	c.scopes = nil
+	c.loops = 0
+	c.pushScope()
+	for _, p := range fi.Decl.Params {
+		kind := ParamScalar
+		if p.IsArray {
+			kind = ParamArray
+		}
+		sym := &Symbol{Name: p.Name, Kind: kind, Pos: p.NamePos, Slot: fi.NumSlots}
+		fi.NumSlots++
+		fi.Params = append(fi.Params, sym)
+		if !c.declare(sym) {
+			c.errorf(p.NamePos, "duplicate parameter %q", p.Name)
+		}
+	}
+	c.checkBlock(fi.Decl.Body)
+	c.popScope()
+	c.fn = nil
+}
+
+func (c *checker) pushScope() {
+	c.scopes = append(c.scopes, make(map[string]*Symbol))
+}
+
+func (c *checker) popScope() {
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+func (c *checker) declare(sym *Symbol) bool {
+	top := c.scopes[len(c.scopes)-1]
+	if _, exists := top[sym.Name]; exists {
+		return false
+	}
+	top[sym.Name] = sym
+	return true
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.List {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(x)
+	case *ast.DeclStmt:
+		c.checkLocalDecl(x.Decl)
+	case *ast.ExprStmt:
+		c.checkExpr(x.X)
+	case *ast.AssignStmt:
+		c.checkAssign(x)
+	case *ast.IfStmt:
+		c.wantInt(x.Cond)
+		c.checkStmt(x.Then)
+		if x.Else != nil {
+			c.checkStmt(x.Else)
+		}
+	case *ast.WhileStmt:
+		c.wantInt(x.Cond)
+		c.loops++
+		c.checkStmt(x.Body)
+		if x.Post != nil {
+			c.checkStmt(x.Post)
+		}
+		c.loops--
+	case *ast.BreakStmt:
+		if c.loops == 0 {
+			c.errorf(x.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loops == 0 {
+			c.errorf(x.Pos(), "continue outside loop")
+		}
+	case *ast.ReturnStmt:
+		if x.X == nil {
+			if c.fn.Decl.Returns != ast.TypeVoid {
+				c.errorf(x.Pos(), "missing return value in function %q", c.fn.Decl.Name)
+			}
+			return
+		}
+		if c.fn.Decl.Returns == ast.TypeVoid {
+			c.errorf(x.Pos(), "void function %q returns a value", c.fn.Decl.Name)
+		}
+		c.wantInt(x.X)
+	case *ast.SpawnStmt:
+		c.checkExpr(x.Call)
+		if fi, ok := c.info.CalleeFunc[x.Call]; ok {
+			if fi.Decl.Returns != ast.TypeVoid {
+				c.errorf(x.Pos(), "spawned function %q must return void", fi.Decl.Name)
+			}
+		} else if x.Call != nil {
+			c.errorf(x.Pos(), "spawn requires a user-defined function")
+		}
+	case *ast.SyncStmt:
+		// Always valid.
+	case nil:
+	default:
+		// Unreachable with the current parser.
+	}
+}
+
+func (c *checker) checkLocalDecl(d *ast.VarDecl) {
+	kind := LocalScalar
+	if d.IsArray {
+		kind = LocalArray
+		if d.Size != nil {
+			c.wantInt(d.Size)
+		} else if d.Init == nil {
+			c.errorf(d.Pos(), "array %q needs a size or an initializer", d.Name)
+		}
+		if d.Init != nil {
+			t := c.checkExpr(d.Init)
+			if t != ast.TypeArray {
+				c.errorf(d.Init.Pos(), "array %q initializer must be an array expression", d.Name)
+			}
+		}
+	} else if d.Init != nil {
+		c.wantInt(d.Init)
+	}
+	sym := &Symbol{Name: d.Name, Kind: kind, Pos: d.Pos(), Slot: c.fn.NumSlots, Decl: d}
+	c.fn.NumSlots++
+	c.fn.Locals = append(c.fn.Locals, sym)
+	if !c.declare(sym) {
+		c.errorf(d.Pos(), "duplicate variable %q in this scope", d.Name)
+	}
+}
+
+func (c *checker) checkAssign(a *ast.AssignStmt) {
+	rhsT := c.checkExpr(a.RHS)
+	switch lhs := a.LHS.(type) {
+	case *ast.Ident:
+		sym := c.lookup(lhs.Name)
+		if sym == nil {
+			c.errorf(lhs.Pos(), "undefined variable %q", lhs.Name)
+			return
+		}
+		c.info.Uses[lhs] = sym
+		if sym.Kind.IsArray() {
+			if a.Op != token.Assign {
+				c.errorf(lhs.Pos(), "array %q only supports plain assignment", lhs.Name)
+			}
+			if rhsT != ast.TypeArray {
+				c.errorf(a.RHS.Pos(), "cannot assign int to array %q", lhs.Name)
+			}
+			if sym.Kind == GlobalArray {
+				c.errorf(lhs.Pos(), "global array %q cannot be reassigned", lhs.Name)
+			}
+			return
+		}
+		if rhsT != ast.TypeInt {
+			c.errorf(a.RHS.Pos(), "cannot assign array to int %q", lhs.Name)
+		}
+	case *ast.IndexExpr:
+		c.checkIndex(lhs)
+		if rhsT != ast.TypeInt {
+			c.errorf(a.RHS.Pos(), "array element assignment needs an int value")
+		}
+	default:
+		c.errorf(a.LHS.Pos(), "left side of assignment is not assignable")
+	}
+}
+
+func (c *checker) wantInt(e ast.Expr) {
+	if t := c.checkExpr(e); t != ast.TypeInt {
+		c.errorf(e.Pos(), "expected an int expression")
+	}
+}
+
+func (c *checker) checkIndex(e *ast.IndexExpr) ast.TypeKind {
+	base, ok := e.X.(*ast.Ident)
+	if !ok {
+		c.errorf(e.X.Pos(), "only named arrays can be indexed")
+		return ast.TypeInt
+	}
+	sym := c.lookup(base.Name)
+	if sym == nil {
+		c.errorf(base.Pos(), "undefined variable %q", base.Name)
+		return ast.TypeInt
+	}
+	c.info.Uses[base] = sym
+	if !sym.Kind.IsArray() {
+		c.errorf(base.Pos(), "%q is not an array", base.Name)
+	}
+	c.wantInt(e.Index)
+	c.info.Types[e] = ast.TypeInt
+	return ast.TypeInt
+}
+
+func (c *checker) checkExpr(e ast.Expr) ast.TypeKind {
+	t := c.exprType(e)
+	c.info.Types[e] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) ast.TypeKind {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ast.TypeInt
+	case *ast.StrLit:
+		// Strings are only valid as print arguments; the call checker
+		// special-cases them.
+		return ast.TypeVoid
+	case *ast.Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos(), "undefined variable %q", x.Name)
+			return ast.TypeInt
+		}
+		c.info.Uses[x] = sym
+		if sym.Kind.IsArray() {
+			return ast.TypeArray
+		}
+		return ast.TypeInt
+	case *ast.UnaryExpr:
+		c.wantInt(x.X)
+		return ast.TypeInt
+	case *ast.BinaryExpr:
+		c.wantInt(x.X)
+		c.wantInt(x.Y)
+		return ast.TypeInt
+	case *ast.CondExpr:
+		c.wantInt(x.Cond)
+		c.wantInt(x.Then)
+		c.wantInt(x.Else)
+		return ast.TypeInt
+	case *ast.IndexExpr:
+		return c.checkIndex(x)
+	case *ast.CallExpr:
+		return c.checkCall(x)
+	}
+	return ast.TypeInt
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) ast.TypeKind {
+	name := call.Fun.Name
+	if b, ok := builtins[name]; ok {
+		c.info.CalleeBuiltin[call] = b
+		return c.checkBuiltinCall(call, b)
+	}
+	fi, ok := c.info.Funcs[name]
+	if !ok {
+		c.errorf(call.Fun.Pos(), "undefined function %q", name)
+		return ast.TypeInt
+	}
+	c.info.CalleeFunc[call] = fi
+	if len(call.Args) != len(fi.Decl.Params) {
+		c.errorf(call.Pos(), "function %q takes %d arguments, got %d",
+			name, len(fi.Decl.Params), len(call.Args))
+		return returnType(fi)
+	}
+	for i, arg := range call.Args {
+		t := c.checkExpr(arg)
+		want := ast.TypeInt
+		if fi.Decl.Params[i].IsArray {
+			want = ast.TypeArray
+		}
+		if t != want {
+			c.errorf(arg.Pos(), "argument %d of %q must be %s", i+1, name, want)
+		}
+	}
+	return returnType(fi)
+}
+
+func returnType(fi *FuncInfo) ast.TypeKind {
+	if fi.Decl.Returns == ast.TypeInt {
+		return ast.TypeInt
+	}
+	return ast.TypeVoid
+}
+
+func (c *checker) checkBuiltinCall(call *ast.CallExpr, b Builtin) ast.TypeKind {
+	name := call.Fun.Name
+	argc := func(n int) bool {
+		if len(call.Args) != n {
+			c.errorf(call.Pos(), "builtin %q takes %d argument(s), got %d", name, n, len(call.Args))
+			return false
+		}
+		return true
+	}
+	switch b {
+	case BuiltinPrint:
+		for _, a := range call.Args {
+			if _, isStr := a.(*ast.StrLit); isStr {
+				continue
+			}
+			c.wantInt(a)
+		}
+		return ast.TypeVoid
+	case BuiltinLen:
+		if argc(1) {
+			if t := c.checkExpr(call.Args[0]); t != ast.TypeArray {
+				c.errorf(call.Args[0].Pos(), "len requires an array")
+			}
+		}
+		return ast.TypeInt
+	case BuiltinAlloc:
+		if argc(1) {
+			c.wantInt(call.Args[0])
+		}
+		return ast.TypeArray
+	case BuiltinRand:
+		argc(0)
+		return ast.TypeInt
+	case BuiltinSrand:
+		if argc(1) {
+			c.wantInt(call.Args[0])
+		}
+		return ast.TypeVoid
+	case BuiltinIn:
+		if argc(1) {
+			c.wantInt(call.Args[0])
+		}
+		return ast.TypeInt
+	case BuiltinInLen:
+		argc(0)
+		return ast.TypeInt
+	case BuiltinOut:
+		if argc(1) {
+			c.wantInt(call.Args[0])
+		}
+		return ast.TypeVoid
+	case BuiltinAssert:
+		if argc(1) {
+			c.wantInt(call.Args[0])
+		}
+		return ast.TypeVoid
+	}
+	return ast.TypeInt
+}
+
+// ConstValue evaluates a constant expression (literals combined with
+// arithmetic) at compile time. It returns false for anything that needs
+// runtime evaluation.
+func ConstValue(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, true
+	case *ast.UnaryExpr:
+		v, ok := ConstValue(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.Minus:
+			return -v, true
+		case token.Not:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case token.Tilde:
+			return ^v, true
+		}
+	case *ast.BinaryExpr:
+		a, ok := ConstValue(x.X)
+		if !ok {
+			return 0, false
+		}
+		b, ok := ConstValue(x.Y)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.Plus:
+			return a + b, true
+		case token.Minus:
+			return a - b, true
+		case token.Star:
+			return a * b, true
+		case token.Slash:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.Percent:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.Shl:
+			return a << (uint64(b) & 63), true
+		case token.Shr:
+			return a >> (uint64(b) & 63), true
+		case token.Amp:
+			return a & b, true
+		case token.Or:
+			return a | b, true
+		case token.Xor:
+			return a ^ b, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,288 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"alchemist/internal/ast"
+	"alchemist/internal/parser"
+	"alchemist/internal/sema"
+	"alchemist/internal/source"
+)
+
+func check(t *testing.T, src string) *sema.Info {
+	t.Helper()
+	file := source.NewFile("t.mc", src)
+	var diags source.DiagList
+	prog := parser.Parse(file, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags.Err())
+	}
+	info := sema.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("check: %v", diags.Err())
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, want string) {
+	t.Helper()
+	file := source.NewFile("t.mc", src)
+	var diags source.DiagList
+	prog := parser.Parse(file, &diags)
+	if !diags.HasErrors() {
+		sema.Check(prog, &diags)
+	}
+	err := diags.Err()
+	if err == nil {
+		t.Fatalf("check %q: want error %q", src, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("check %q: error %q does not contain %q", src, err, want)
+	}
+}
+
+func TestSymbolKinds(t *testing.T) {
+	info := check(t, `
+int gs;
+int ga[4];
+int f(int ps, int pa[]) {
+	int ls;
+	int la[4];
+	return ps + ls + pa[0] + la[0] + gs + ga[0];
+}
+int main() { return 0; }
+`)
+	wantKinds := map[string]sema.SymbolKind{
+		"gs": sema.GlobalScalar,
+		"ga": sema.GlobalArray,
+	}
+	for _, g := range info.Globals {
+		if k, ok := wantKinds[g.Name]; ok && g.Kind != k {
+			t.Errorf("%s kind = %v, want %v", g.Name, g.Kind, k)
+		}
+	}
+	f := info.Funcs["f"]
+	if f == nil {
+		t.Fatal("no f")
+	}
+	if len(f.Params) != 2 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+	if f.Params[0].Kind != sema.ParamScalar || f.Params[1].Kind != sema.ParamArray {
+		t.Error("param kinds wrong")
+	}
+	if len(f.Locals) != 2 {
+		t.Fatalf("locals = %d", len(f.Locals))
+	}
+	if f.Locals[0].Kind != sema.LocalScalar || f.Locals[1].Kind != sema.LocalArray {
+		t.Error("local kinds wrong")
+	}
+	// Slots are densely assigned: params first.
+	if f.Params[0].Slot != 0 || f.Params[1].Slot != 1 ||
+		f.Locals[0].Slot != 2 || f.Locals[1].Slot != 3 {
+		t.Error("slot assignment wrong")
+	}
+	if f.NumSlots != 4 {
+		t.Errorf("NumSlots = %d", f.NumSlots)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	info := check(t, `
+int x;
+int main() {
+	int x = 1;
+	{
+		int x = 2;
+		out(x);
+	}
+	out(x);
+	return x;
+}
+`)
+	main := info.Funcs["main"]
+	if len(main.Locals) != 2 {
+		t.Fatalf("locals = %d, want 2 (two nested x's)", len(main.Locals))
+	}
+	// Each ident use resolves to some symbol; count how many distinct
+	// symbols the x uses touch.
+	seen := map[*sema.Symbol]bool{}
+	for id, sym := range info.Uses {
+		if id.Name == "x" {
+			seen[sym] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("x uses resolve to %d symbols, want 2 (global x is fully shadowed)", len(seen))
+	}
+}
+
+func TestBuiltinResolution(t *testing.T) {
+	info := check(t, `
+int a[4];
+int main() {
+	print("v", 1);
+	out(len(a));
+	int b[] = alloc(in(0) + inlen());
+	srand(1);
+	assert(rand() >= 0);
+	return len(b);
+}
+`)
+	found := map[sema.Builtin]bool{}
+	for _, b := range info.CalleeBuiltin {
+		found[b] = true
+	}
+	for _, want := range []sema.Builtin{
+		sema.BuiltinPrint, sema.BuiltinOut, sema.BuiltinLen, sema.BuiltinAlloc,
+		sema.BuiltinIn, sema.BuiltinInLen, sema.BuiltinSrand, sema.BuiltinRand,
+		sema.BuiltinAssert,
+	} {
+		if !found[want] {
+			t.Errorf("builtin %d not resolved", want)
+		}
+	}
+}
+
+func TestExprTypes(t *testing.T) {
+	info := check(t, `
+int a[4];
+int main() {
+	int x = a[1] + 2;
+	int b[] = alloc(3);
+	return x + len(b);
+}
+`)
+	arrays, ints := 0, 0
+	for _, tk := range info.Types {
+		switch tk {
+		case ast.TypeArray:
+			arrays++
+		case ast.TypeInt:
+			ints++
+		}
+	}
+	if arrays == 0 || ints == 0 {
+		t.Errorf("types arrays=%d ints=%d", arrays, ints)
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { int a[4]; return a + 1; }`, "expected an int expression"},
+		{`int main() { int a[4]; a[0] = a; return 0; }`, "needs an int value"},
+		{`int main() { int x = 3; return x[0]; }`, "not an array"},
+		{`int main() { int a[4]; a += 1; return 0; }`, "only supports plain assignment"},
+		{`int main() { return 1[0]; }`, "only named arrays"},
+		{`void f() {} void f2() { return 3; }  int main() { return 0; }`, "void function"},
+		{`int f() { return; } int main() { return 0; }`, "missing return value"},
+		{`int f(int a[]) { return 0; } int main() { return f(3); }`, "must be int[]"},
+		{`int f(int a) { return 0; } int g[2]; int main() { return f(g); }`, "must be int"},
+		{`int f(int a) { return a; } int main() { return f(1, 2); }`, "takes 1 arguments"},
+		{`int main() { return print(1); }`, "expected an int expression"},
+		{`int main() { out(); return 0; }`, `takes 1 argument`},
+		{`int len() { return 0; } int main() { return 0; }`, "shadows a builtin"},
+		{`int g[]; int main() { return 0; }`, "must have a constant size"},
+		{`int g[2+x]; int main() { return 0; }`, "must be a constant"},
+		{`int main() { int a[]; return 0; }`, "needs a size or an initializer"},
+		{`int main() { int a[] = 3; return 0; }`, "must be an array expression"},
+		{`int main(int x) { return 0; }`, "main must take no parameters"},
+		{`void main() {} void main() {} `, "duplicate function"},
+		{`int g; int g; int main() { return 0; }`, "duplicate global"},
+		{`int f(int a, int a) { return 0; } int main() { return 0; }`, "duplicate parameter"},
+	}
+	for _, tc := range cases {
+		checkErr(t, tc.src, tc.want)
+	}
+}
+
+func TestConstValue(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+		ok   bool
+	}{
+		{"5", 5, true},
+		{"2 + 3 * 4", 14, true},
+		{"-(7)", -7, true},
+		{"~0", -1, true},
+		{"!3", 0, true},
+		{"!0", 1, true},
+		{"1 << 10", 1024, true},
+		{"256 >> 4", 16, true},
+		{"12 / 4", 3, true},
+		{"13 % 4", 1, true},
+		{"7 & 3", 3, true},
+		{"4 | 1", 5, true},
+		{"6 ^ 3", 5, true},
+		{"10 - 4", 6, true},
+		{"1 / 0", 0, false},
+		{"1 % 0", 0, false},
+		{"x + 1", 0, false},
+		{"in(0)", 0, false},
+	}
+	for _, tc := range cases {
+		prog, err := parser.ParseSource("c.mc", "int main() { return "+tc.expr+"; }")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		ret := prog.FindFunc("main").Body.List[0].(*ast.ReturnStmt)
+		got, ok := sema.ConstValue(ret.X)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ConstValue(%s) = %d,%v want %d,%v", tc.expr, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestConstValueMatchesArithmetic checks the compile-time evaluator
+// against Go semantics on random operand pairs.
+func TestConstValueMatchesArithmetic(t *testing.T) {
+	ops := []struct {
+		op string
+		fn func(a, b int64) int64
+	}{
+		{"+", func(a, b int64) int64 { return a + b }},
+		{"-", func(a, b int64) int64 { return a - b }},
+		{"*", func(a, b int64) int64 { return a * b }},
+		{"&", func(a, b int64) int64 { return a & b }},
+		{"|", func(a, b int64) int64 { return a | b }},
+		{"^", func(a, b int64) int64 { return a ^ b }},
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a16, b16 int16) bool {
+			a, b := int64(a16), int64(b16)
+			src := "int main() { return " + fmtConst(a) + " " + op.op + " " + fmtConst(b) + "; }"
+			prog, err := parser.ParseSource("q.mc", src)
+			if err != nil {
+				return false
+			}
+			ret := prog.FindFunc("main").Body.List[0].(*ast.ReturnStmt)
+			got, ok := sema.ConstValue(ret.X)
+			return ok && got == op.fn(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("op %s: %v", op.op, err)
+		}
+	}
+}
+
+// fmtConst renders negative constants as (0 - n) since mini-C literals
+// are unsigned and unary minus on the min value is fine.
+func fmtConst(v int64) string {
+	if v < 0 {
+		return "(0 - " + fmtConst(-v) + ")"
+	}
+	digits := "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{digits[v%10]}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,174 @@
+// Package source provides source-file management, positions, and
+// diagnostics for the mini-C frontend.
+//
+// Positions are 1-based line/column pairs tied to a File. A Span covers a
+// half-open byte range and is used by the AST and by diagnostics.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// File holds the contents of a single mini-C source file together with a
+// line-offset table for position lookup.
+type File struct {
+	Name    string
+	Content string
+
+	lineOffsets []int // byte offset of the start of each line
+}
+
+// NewFile creates a File and builds its line table.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lineOffsets = append(f.lineOffsets, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lineOffsets = append(f.lineOffsets, i+1)
+		}
+	}
+	return f
+}
+
+// NumLines reports the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lineOffsets) }
+
+// Pos converts a byte offset into a Pos. Offsets past the end of the file
+// are clamped.
+func (f *File) Pos(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	line := sort.Search(len(f.lineOffsets), func(i int) bool {
+		return f.lineOffsets[i] > offset
+	})
+	// line is 1-based already because Search returns the first line whose
+	// start is beyond offset.
+	col := offset - f.lineOffsets[line-1] + 1
+	return Pos{File: f, Offset: offset, Line: line, Col: col}
+}
+
+// Line returns the text of the 1-based line number, without the newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lineOffsets) {
+		return ""
+	}
+	start := f.lineOffsets[n-1]
+	end := len(f.Content)
+	if n < len(f.lineOffsets) {
+		end = f.lineOffsets[n] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Pos identifies a location in a file.
+type Pos struct {
+	File   *File
+	Offset int
+	Line   int
+	Col    int
+}
+
+// IsValid reports whether the position refers to a real file location.
+func (p Pos) IsValid() bool { return p.File != nil }
+
+func (p Pos) String() string {
+	if p.File == nil {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File.Name, p.Line, p.Col)
+}
+
+// Span is a half-open byte range [Start, End) in a single file.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+func (s Span) String() string { return s.Start.String() }
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Error diagnostics prevent compilation from succeeding.
+	Error Severity = iota
+	// Warning diagnostics do not stop compilation.
+	Warning
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "diagnostic"
+	}
+}
+
+// Diagnostic is a single compiler message tied to a position.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Message)
+}
+
+// DiagList accumulates diagnostics during a compilation phase.
+type DiagList struct {
+	Diags []Diagnostic
+}
+
+// Errorf records an error at pos.
+func (dl *DiagList) Errorf(pos Pos, format string, args ...any) {
+	dl.Diags = append(dl.Diags, Diagnostic{Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a warning at pos.
+func (dl *DiagList) Warnf(pos Pos, format string, args ...any) {
+	dl.Diags = append(dl.Diags, Diagnostic{Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostic was recorded.
+func (dl *DiagList) HasErrors() bool {
+	for _, d := range dl.Diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns an error summarizing all error diagnostics, or nil.
+func (dl *DiagList) Err() error {
+	if !dl.HasErrors() {
+		return nil
+	}
+	var b strings.Builder
+	n := 0
+	for _, d := range dl.Diags {
+		if d.Severity != Error {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+		n++
+		if n == 20 {
+			fmt.Fprintf(&b, "\n... and more errors")
+			break
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}

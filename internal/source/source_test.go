@@ -1,0 +1,130 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosLineCol(t *testing.T) {
+	f := NewFile("a.mc", "ab\ncde\n\nx")
+	cases := []struct {
+		offset, line, col int
+	}{
+		{0, 1, 1},
+		{1, 1, 2},
+		{2, 1, 3}, // the newline itself
+		{3, 2, 1},
+		{5, 2, 3},
+		{7, 3, 1},
+		{8, 4, 1},
+	}
+	for _, tc := range cases {
+		p := f.Pos(tc.offset)
+		if p.Line != tc.line || p.Col != tc.col {
+			t.Errorf("Pos(%d) = %d:%d, want %d:%d", tc.offset, p.Line, p.Col, tc.line, tc.col)
+		}
+	}
+}
+
+func TestPosClamping(t *testing.T) {
+	f := NewFile("a.mc", "hello")
+	if p := f.Pos(-5); p.Offset != 0 {
+		t.Errorf("negative offset not clamped: %+v", p)
+	}
+	if p := f.Pos(100); p.Offset != len(f.Content) {
+		t.Errorf("overlong offset not clamped: %+v", p)
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := NewFile("a.mc", "first\nsecond\nthird")
+	if got := f.Line(1); got != "first" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q", got)
+	}
+	if got := f.Line(4); got != "" {
+		t.Errorf("Line(4) = %q", got)
+	}
+}
+
+func TestNumLines(t *testing.T) {
+	if n := NewFile("x", "").NumLines(); n != 1 {
+		t.Errorf("empty file lines = %d", n)
+	}
+	if n := NewFile("x", "a\nb\nc").NumLines(); n != 3 {
+		t.Errorf("3-line file lines = %d", n)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	f := NewFile("file.mc", "abc")
+	if got := f.Pos(1).String(); got != "file.mc:1:2" {
+		t.Errorf("Pos string = %q", got)
+	}
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if got := zero.String(); got != "<unknown>" {
+		t.Errorf("zero Pos string = %q", got)
+	}
+}
+
+func TestDiagList(t *testing.T) {
+	f := NewFile("d.mc", "x\ny")
+	var dl DiagList
+	if dl.HasErrors() {
+		t.Error("empty list has errors")
+	}
+	if dl.Err() != nil {
+		t.Error("empty list Err != nil")
+	}
+	dl.Warnf(f.Pos(0), "watch out %d", 1)
+	if dl.HasErrors() {
+		t.Error("warning counted as error")
+	}
+	dl.Errorf(f.Pos(2), "boom %s", "now")
+	if !dl.HasErrors() {
+		t.Error("error not recorded")
+	}
+	err := dl.Err()
+	if err == nil || !strings.Contains(err.Error(), "boom now") {
+		t.Errorf("Err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "d.mc:2:1") {
+		t.Errorf("Err lacks position: %v", err)
+	}
+	// Warnings are excluded from Err.
+	if strings.Contains(err.Error(), "watch out") {
+		t.Errorf("Err includes warning: %v", err)
+	}
+}
+
+func TestDiagListTruncation(t *testing.T) {
+	f := NewFile("d.mc", "x")
+	var dl DiagList
+	for i := 0; i < 30; i++ {
+		dl.Errorf(f.Pos(0), "e%d", i)
+	}
+	msg := dl.Err().Error()
+	if !strings.Contains(msg, "and more errors") {
+		t.Error("long error list not truncated")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" {
+		t.Error("severity strings wrong")
+	}
+	if Severity(99).String() != "diagnostic" {
+		t.Error("unknown severity string wrong")
+	}
+}

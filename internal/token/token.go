@@ -1,0 +1,226 @@
+// Package token defines the lexical tokens of mini-C.
+package token
+
+import "fmt"
+
+// Kind enumerates the token kinds produced by the lexer.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123, 0x1f, 'a'
+	STRING // "abc" (builtin print only)
+
+	// Keywords.
+	KwInt
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSpawn
+	KwSync
+
+	// Punctuation.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+
+	// Operators.
+	Assign     // =
+	PlusAssign // +=
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign // &=
+	OrAssign  // |=
+	XorAssign // ^=
+	ShlAssign // <<=
+	ShrAssign // >>=
+	Inc       // ++
+	Dec       // --
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Amp     // &
+	Or      // |
+	Xor     // ^
+	Shl     // <<
+	Shr     // >>
+	Tilde   // ~
+
+	LAnd // &&
+	LOr  // ||
+	Not  // !
+
+	Eq // ==
+	Ne // !=
+	Lt // <
+	Le // <=
+	Gt // >
+	Ge // >=
+
+	Question // ?
+	Colon    // :
+)
+
+var kindNames = map[Kind]string{
+	EOF:           "EOF",
+	ILLEGAL:       "ILLEGAL",
+	IDENT:         "identifier",
+	INT:           "integer literal",
+	STRING:        "string literal",
+	KwInt:         "int",
+	KwVoid:        "void",
+	KwIf:          "if",
+	KwElse:        "else",
+	KwWhile:       "while",
+	KwFor:         "for",
+	KwDo:          "do",
+	KwBreak:       "break",
+	KwContinue:    "continue",
+	KwReturn:      "return",
+	KwSpawn:       "spawn",
+	KwSync:        "sync",
+	LParen:        "(",
+	RParen:        ")",
+	LBrace:        "{",
+	RBrace:        "}",
+	LBracket:      "[",
+	RBracket:      "]",
+	Comma:         ",",
+	Semi:          ";",
+	Assign:        "=",
+	PlusAssign:    "+=",
+	MinusAssign:   "-=",
+	StarAssign:    "*=",
+	SlashAssign:   "/=",
+	PercentAssign: "%=",
+	AmpAssign:     "&=",
+	OrAssign:      "|=",
+	XorAssign:     "^=",
+	ShlAssign:     "<<=",
+	ShrAssign:     ">>=",
+	Inc:           "++",
+	Dec:           "--",
+	Plus:          "+",
+	Minus:         "-",
+	Star:          "*",
+	Slash:         "/",
+	Percent:       "%",
+	Amp:           "&",
+	Or:            "|",
+	Xor:           "^",
+	Shl:           "<<",
+	Shr:           ">>",
+	Tilde:         "~",
+	LAnd:          "&&",
+	LOr:           "||",
+	Not:           "!",
+	Eq:            "==",
+	Ne:            "!=",
+	Lt:            "<",
+	Le:            "<=",
+	Gt:            ">",
+	Ge:            ">=",
+	Question:      "?",
+	Colon:         ":",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int":      KwInt,
+	"void":     KwVoid,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"do":       KwDo,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"spawn":    KwSpawn,
+	"sync":     KwSync,
+}
+
+// Token is a lexeme with its kind, source text, and location.
+type Token struct {
+	Kind   Kind
+	Text   string
+	Val    int64 // value for INT tokens
+	Offset int   // byte offset of the first character
+	Line   int   // 1-based line
+	Col    int   // 1-based column
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether k is one of the assignment operators.
+func IsAssignOp(k Kind) bool {
+	switch k {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+		PercentAssign, AmpAssign, OrAssign, XorAssign, ShlAssign, ShrAssign:
+		return true
+	}
+	return false
+}
+
+// BinaryForAssign returns the underlying binary operator for a compound
+// assignment token (e.g. PlusAssign -> Plus). Plain Assign returns EOF.
+func BinaryForAssign(k Kind) Kind {
+	switch k {
+	case PlusAssign:
+		return Plus
+	case MinusAssign:
+		return Minus
+	case StarAssign:
+		return Star
+	case SlashAssign:
+		return Slash
+	case PercentAssign:
+		return Percent
+	case AmpAssign:
+		return Amp
+	case OrAssign:
+		return Or
+	case XorAssign:
+		return Xor
+	case ShlAssign:
+		return Shl
+	case ShrAssign:
+		return Shr
+	}
+	return EOF
+}

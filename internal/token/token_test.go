@@ -1,0 +1,73 @@
+package token
+
+import "testing"
+
+func TestIsAssignOp(t *testing.T) {
+	yes := []Kind{Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+		PercentAssign, AmpAssign, OrAssign, XorAssign, ShlAssign, ShrAssign}
+	for _, k := range yes {
+		if !IsAssignOp(k) {
+			t.Errorf("IsAssignOp(%v) = false", k)
+		}
+	}
+	no := []Kind{Plus, Eq, Inc, Dec, IDENT, LBrace}
+	for _, k := range no {
+		if IsAssignOp(k) {
+			t.Errorf("IsAssignOp(%v) = true", k)
+		}
+	}
+}
+
+func TestBinaryForAssign(t *testing.T) {
+	cases := map[Kind]Kind{
+		PlusAssign:    Plus,
+		MinusAssign:   Minus,
+		StarAssign:    Star,
+		SlashAssign:   Slash,
+		PercentAssign: Percent,
+		AmpAssign:     Amp,
+		OrAssign:      Or,
+		XorAssign:     Xor,
+		ShlAssign:     Shl,
+		ShrAssign:     Shr,
+		Assign:        EOF,
+		Plus:          EOF,
+	}
+	for in, want := range cases {
+		if got := BinaryForAssign(in); got != want {
+			t.Errorf("BinaryForAssign(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KwWhile.String() != "while" || Shl.String() != "<<" || IDENT.String() != "identifier" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind must format")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: IDENT, Text: "foo"}
+	if id.String() != `identifier "foo"` {
+		t.Errorf("ident string = %q", id.String())
+	}
+	op := Token{Kind: Plus}
+	if op.String() != "+" {
+		t.Errorf("op string = %q", op.String())
+	}
+}
+
+func TestKeywordTableComplete(t *testing.T) {
+	// Every keyword kind maps back from its spelling.
+	for text, kind := range Keywords {
+		if kind.String() != text {
+			t.Errorf("keyword %q has kind string %q", text, kind.String())
+		}
+	}
+	if len(Keywords) != 12 {
+		t.Errorf("keyword count = %d", len(Keywords))
+	}
+}

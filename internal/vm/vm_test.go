@@ -1,0 +1,486 @@
+package vm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/vm"
+)
+
+// run compiles and executes src sequentially, returning the result.
+func run(t *testing.T, src string, cfg vm.Config) *vm.Result {
+	t.Helper()
+	prog, err := compile.Build("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := vm.New(prog, cfg)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// runErr compiles and executes src, expecting a runtime error containing
+// want.
+func runErr(t *testing.T, src, want string) {
+	t.Helper()
+	prog, err := compile.Build("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		t.Fatalf("expected runtime error containing %q, got success", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func mainRet(t *testing.T, body string) int64 {
+	t.Helper()
+	res := run(t, "int main() {\n"+body+"\n}", vm.Config{})
+	return res.Ret
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2", 3},
+		{"7 - 10", -3},
+		{"6 * 7", 42},
+		{"17 / 5", 3},
+		{"-17 / 5", -3},
+		{"17 % 5", 2},
+		{"-17 % 5", -2},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"0xff & 0x0f", 15},
+		{"0xf0 | 0x0f", 255},
+		{"0xff ^ 0x0f", 240},
+		{"~0", -1},
+		{"-(5)", -5},
+		{"!0", 1},
+		{"!7", 0},
+		{"3 < 4", 1},
+		{"4 < 4", 0},
+		{"4 <= 4", 1},
+		{"5 > 4", 1},
+		{"5 >= 6", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 - 3 - 2", 5},
+		{"1 ? 42 : 7", 42},
+		{"0 ? 42 : 7", 7},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 0", 0},
+		{"0 || 3", 1},
+	}
+	for _, tc := range cases {
+		if got := mainRet(t, "return "+tc.expr+";"); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main() {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	out(hits);
+	out(a);
+	out(b);
+	int c = 1 && bump();
+	int d = 0 || bump();
+	out(hits);
+	out(c);
+	out(d);
+	return 0;
+}`
+	res := run(t, src, vm.Config{})
+	want := []int64{0, 0, 1, 2, 1, 1}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	if got := mainRet(t, `
+	int s = 0;
+	int i = 0;
+	while (i < 10) { s = s + i; i = i + 1; }
+	return s;`); got != 45 {
+		t.Errorf("while sum = %d, want 45", got)
+	}
+	if got := mainRet(t, `
+	int s = 0;
+	for (int i = 0; i < 10; i++) s += i;
+	return s;`); got != 45 {
+		t.Errorf("for sum = %d, want 45", got)
+	}
+	if got := mainRet(t, `
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i % 2 == 0) continue;
+		if (i > 6) break;
+		s += i;
+	}
+	return s;`); got != 1+3+5 {
+		t.Errorf("break/continue sum = %d, want 9", got)
+	}
+	if got := mainRet(t, `
+	int i = 10;
+	int n = 0;
+	do { n++; i--; } while (i > 0);
+	return n;`); got != 10 {
+		t.Errorf("do-while count = %d, want 10", got)
+	}
+	if got := mainRet(t, `
+	int i = 0;
+	int n = 0;
+	do { n++; } while (i != 0);
+	return n;`); got != 1 {
+		t.Errorf("do-while executes at least once: %d, want 1", got)
+	}
+}
+
+func TestNestedLoopsAndConditionals(t *testing.T) {
+	if got := mainRet(t, `
+	int total = 0;
+	for (int i = 0; i < 5; i++) {
+		for (int j = 0; j < 5; j++) {
+			if (i == j) total += 10;
+			else if (i < j) total += 1;
+		}
+	}
+	return total;`); got != 50+10 {
+		t.Errorf("nested = %d, want 60", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int fact(int n) { return n <= 1 ? 1 : n * fact(n-1); }
+int main() {
+	out(fib(10));
+	out(fact(6));
+	return 0;
+}`
+	res := run(t, src, vm.Config{})
+	if res.Output[0] != 55 || res.Output[1] != 720 {
+		t.Fatalf("output %v, want [55 720]", res.Output)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int counter;
+int table[16];
+int start = 5;
+void fill(int a[], int n) {
+	for (int i = 0; i < n; i++) a[i] = i * i;
+}
+int sum(int a[], int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += a[i];
+	return s;
+}
+int main() {
+	fill(table, 16);
+	counter += start;
+	int local[8];
+	fill(local, 8);
+	out(sum(table, 16));
+	out(sum(local, 8));
+	out(counter);
+	out(len(table));
+	out(len(local));
+	int dyn[] = alloc(100);
+	dyn[99] = 7;
+	out(len(dyn));
+	out(dyn[99] + dyn[0]);
+	return 0;
+}`
+	res := run(t, src, vm.Config{})
+	want := []int64{1240, 140, 5, 16, 8, 100, 7}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestLocalArraysAreFreshPerActivation(t *testing.T) {
+	// Bump allocation must hand every activation a fresh zeroed array.
+	src := `
+int leak(int x) {
+	int buf[4];
+	int old = buf[0];
+	buf[0] = x;
+	return old;
+}
+int main() {
+	leak(42);
+	return leak(7);
+}`
+	if got := mainRet(t, ""); got != 0 {
+		_ = got
+	}
+	res := run(t, src, vm.Config{})
+	if res.Ret != 0 {
+		t.Fatalf("second activation saw stale value %d, want 0", res.Ret)
+	}
+}
+
+func TestBuiltinsInOutRand(t *testing.T) {
+	src := `
+int main() {
+	int n = inlen();
+	int s = 0;
+	for (int i = 0; i < n; i++) s += in(i);
+	out(s);
+	srand(12345);
+	int a = rand();
+	int b = rand();
+	srand(12345);
+	int c = rand();
+	out(a == c);
+	out(a != b);
+	return 0;
+}`
+	res := run(t, src, vm.Config{Input: []int64{1, 2, 3, 4}})
+	if res.Output[0] != 10 || res.Output[1] != 1 || res.Output[2] != 1 {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	src := `
+int main() {
+	print("answer=", 42, " done");
+	return 0;
+}`
+	run(t, src, vm.Config{Out: &buf})
+	if got := buf.String(); got != "answer=42 done\n" {
+		t.Fatalf("print output %q", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	runErr(t, `int main() { int x = 1 / (1 - 1); return x; }`, "division by zero")
+	runErr(t, `int main() { int x = 5 % (2 - 2); return x; }`, "modulo by zero")
+	runErr(t, `int a[4]; int main() { return a[4]; }`, "out of range")
+	runErr(t, `int a[4]; int main() { a[0-1] = 1; return 0; }`, "out of range")
+	runErr(t, `int main() { assert(1 == 2); return 0; }`, "assertion failed")
+	runErr(t, `int main() { return in(0); }`, "out of range")
+	runErr(t, `int main() { int a[] = alloc(0-5); return 0; }`, "invalid allocation size")
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := compile.Build("loop.mc", `int main() { while (1) {} return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{StepLimit: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("want step limit error, got %v", err)
+	}
+}
+
+func TestSpawnSequentialSemantics(t *testing.T) {
+	src := `
+int results[4];
+void work(int i) { results[i] = i * 100; }
+int main() {
+	for (int i = 0; i < 4; i++) spawn work(i);
+	sync;
+	out(results[0] + results[1] + results[2] + results[3]);
+	return 0;
+}`
+	res := run(t, src, vm.Config{})
+	if res.Output[0] != 600 {
+		t.Fatalf("spawn sequential got %v", res.Output)
+	}
+}
+
+func TestSpawnParallel(t *testing.T) {
+	src := `
+int results[8];
+void work(int i, int n) {
+	int s = 0;
+	for (int j = 0; j < n; j++) s += j ^ i;
+	results[i] = s;
+}
+int main() {
+	for (int i = 0; i < 8; i++) spawn work(i, 20000);
+	sync;
+	int total = 0;
+	for (int i = 0; i < 8; i++) total += results[i];
+	out(total);
+	return 0;
+}`
+	prog, err := compile.Build("par.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := compile.Build("par.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := vm.New(prog2, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Output[0] != parRes.Output[0] {
+		t.Fatalf("parallel result %d != sequential %d", parRes.Output[0], seqRes.Output[0])
+	}
+}
+
+func TestImplicitJoinAtFunctionExit(t *testing.T) {
+	// A function that spawns but never syncs must still join before
+	// returning, so the caller observes the writes.
+	src := `
+int flag[1];
+void setter() { flag[0] = 9; }
+void spawner() { spawn setter(); }
+int main() {
+	spawner();
+	return flag[0];
+}`
+	prog, err := compile.Build("join.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 9 {
+		t.Fatalf("ret = %d, want 9", res.Ret)
+	}
+}
+
+func TestVoidFunctionFallOff(t *testing.T) {
+	src := `
+int g;
+void set(int v) { g = v; }
+int main() { set(3); return g; }`
+	res := run(t, src, vm.Config{})
+	if res.Ret != 3 {
+		t.Fatalf("ret=%d want 3", res.Ret)
+	}
+}
+
+func TestIntFunctionFallOffReturnsZero(t *testing.T) {
+	src := `
+int f(int x) { if (x > 0) return 5; }
+int main() { return f(0); }`
+	res := run(t, src, vm.Config{})
+	if res.Ret != 0 {
+		t.Fatalf("ret=%d want 0", res.Ret)
+	}
+}
+
+func TestGlobalValueInspection(t *testing.T) {
+	src := `
+int answer;
+int table[3];
+int main() { answer = 42; table[1] = 7; return 0; }`
+	prog, err := compile.Build("g.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.GlobalValue("answer"); !ok || v != 42 {
+		t.Fatalf("answer=%d,%v", v, ok)
+	}
+	vals, ok := m.GlobalArrayValues("table")
+	if !ok || vals[1] != 7 || vals[0] != 0 {
+		t.Fatalf("table=%v,%v", vals, ok)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`int main() { return x; }`, "undefined variable"},
+		{`int main() { foo(); return 0; }`, "undefined function"},
+		{`int f() { return 1; } int f() { return 2; } int main() { return 0; }`, "duplicate function"},
+		{`int main() { break; }`, "break outside loop"},
+		{`int main() { continue; }`, "continue outside loop"},
+		{`void main2() {}`, "no main"},
+		{`int a[4]; int main() { a = a; return 0; }`, "cannot be reassigned"},
+		{`int main() { int x = 1; int x = 2; return x; }`, "duplicate variable"},
+		{`int a[4]; int main() { return a; }`, "expected an int expression"},
+		{`int main(int x) { return x; }`, "main must take no parameters"},
+		{`void f() {} int main() { return f(); }`, "expected an int expression"},
+		{`int f() { return 1; } int main() { spawn f(); return 0; }`, "must return void"},
+		{`int main() { return len(3); }`, "len requires an array"},
+		{`int g = rand(); int main() { return g; }`, "must be a constant expression"},
+	}
+	for _, tc := range cases {
+		_, err := compile.Build("err.mc", tc.src)
+		if err == nil {
+			t.Errorf("source %q compiled, want error %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q: error %q does not contain %q", tc.src, err, tc.want)
+		}
+	}
+}
