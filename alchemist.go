@@ -15,16 +15,22 @@
 //
 // Typical use:
 //
-//	prog, err := alchemist.Compile("gzip.mc", src)
-//	profile, _, err := prog.Profile(alchemist.ProfileConfig{})
+//	eng := alchemist.NewEngine(alchemist.WithWorkers(4))
+//	prog, err := eng.Compile(ctx, "gzip.mc", src)
+//	profile, _, err := eng.Profile(ctx, prog, alchemist.ProfileConfig{})
 //	fmt.Print(alchemist.Report(profile, alchemist.ReportOptions{Top: 10}))
 //	for _, r := range alchemist.Advise(profile) { ... }
 //
+// The Engine is the service entry point: it caches compiled programs,
+// threads context.Context through compilation and execution, and fans
+// batch profiling runs over a bounded worker pool (ProfileBatch).
 // Programs that have been annotated with spawn/sync can also be executed
 // in parallel (Run with Parallel: true) to measure realized speedups.
 package alchemist
 
 import (
+	"context"
+	"errors"
 	"io"
 
 	"alchemist/internal/advisor"
@@ -84,25 +90,38 @@ type Program struct {
 	Name string
 }
 
-// Compile parses, type-checks, and compiles mini-C source text.
-func Compile(name, src string) (*Program, error) {
-	p, err := compile.Build(name, src)
+// compileProgram runs the full lexer/parser/sema/compile pipeline. The
+// Engine's cache sits in front of this.
+func compileProgram(name, src string, co CompileOptions) (*Program, error) {
+	p, err := compile.BuildConfig(name, src, compile.Config{Optimize: co.Optimize})
 	if err != nil {
 		return nil, err
 	}
 	return &Program{ir: p, Source: src, Name: name}, nil
 }
 
+// CompileCtx compiles mini-C source text through the package-default
+// Engine: repeated compiles of the same source hit its program cache.
+func CompileCtx(ctx context.Context, name, src string) (*Program, error) {
+	return DefaultEngine().Compile(ctx, name, src)
+}
+
+// Compile parses, type-checks, and compiles mini-C source text.
+//
+// Deprecated: use Engine.Compile (or CompileCtx), which supports
+// cancellation and caches compiled programs.
+func Compile(name, src string) (*Program, error) {
+	return DefaultEngine().Compile(context.Background(), name, src)
+}
+
 // CompileOptimized additionally runs the optimization passes (constant
 // folding, unreachable-code elimination). Profiles of optimized code are
 // still well-formed: predicates — and therefore constructs — are never
 // folded away.
+//
+// Deprecated: use Engine.CompileWith with CompileOptions{Optimize: true}.
 func CompileOptimized(name, src string) (*Program, error) {
-	p, err := compile.BuildConfig(name, src, compile.Config{Optimize: true})
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ir: p, Source: src, Name: name}, nil
+	return DefaultEngine().CompileWith(context.Background(), name, src, CompileOptions{Optimize: true})
 }
 
 // IR exposes the compiled program for tooling (disassembly, PC lookup).
@@ -141,12 +160,35 @@ func (c RunConfig) vmConfig() vm.Config {
 	}
 }
 
-// Run executes the program without instrumentation.
-func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
-	return core.RunProgram(p.ir, cfg.vmConfig())
+// RunCtx executes the program without instrumentation under ctx.
+// Cancellation is observed by every interpreter goroutine within one VM
+// step-check window (vm.CancelCheckInterval instructions); the error is
+// then ctx.Err().
+func (p *Program) RunCtx(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	return core.RunProgramCtx(ctx, p.ir, cfg.vmConfig())
 }
 
+// Run executes the program without instrumentation.
+//
+// Deprecated: use RunCtx (or Engine.Run), which supports cancellation
+// and timeouts.
+func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
+	return p.RunCtx(context.Background(), cfg)
+}
+
+// ErrProfileNeedsSequential is returned by Profile when the config
+// requests parallel execution: the profiler is a sequential-mode VM
+// tracer, and dependence distances are defined over the sequential
+// instruction stream (the paper profiles the sequential program).
+var ErrProfileNeedsSequential = errors.New(
+	"alchemist: profiling requires sequential execution: unset RunConfig.Parallel and RunConfig.SimWorkers")
+
 // ProfileConfig parameterizes a profiled execution.
+//
+// Profiling always runs the program sequentially: the embedded
+// RunConfig must not set Parallel or SimWorkers, otherwise Profile
+// fails with ErrProfileNeedsSequential. (Earlier versions silently
+// forced sequential execution instead.)
 type ProfileConfig struct {
 	RunConfig
 	// TrackWAR / TrackWAW enable anti- and output-dependence profiling;
@@ -160,16 +202,26 @@ type ProfileConfig struct {
 	PoolPrealloc int
 }
 
-// Profile executes the program sequentially under the profiler.
-func (p *Program) Profile(cfg ProfileConfig) (*Profile, *RunResult, error) {
+// ProfileCtx executes the program sequentially under the profiler,
+// observing ctx like RunCtx does.
+func (p *Program) ProfileCtx(ctx context.Context, cfg ProfileConfig) (*Profile, *RunResult, error) {
+	if cfg.Parallel || cfg.SimWorkers > 0 {
+		return nil, nil, ErrProfileNeedsSequential
+	}
 	opts := core.DefaultOptions()
 	opts.TrackWAR = !cfg.DisableWAR
 	opts.TrackWAW = !cfg.DisableWAW
 	opts.ReaderSlots = cfg.ReaderSlots
 	opts.PoolPrealloc = cfg.PoolPrealloc
-	vcfg := cfg.vmConfig()
-	vcfg.Parallel = false
-	return core.ProfileProgram(p.ir, vcfg, opts)
+	return core.ProfileProgramCtx(ctx, p.ir, cfg.vmConfig(), opts)
+}
+
+// Profile executes the program sequentially under the profiler.
+//
+// Deprecated: use ProfileCtx (or Engine.Profile), which supports
+// cancellation and timeouts.
+func (p *Program) Profile(cfg ProfileConfig) (*Profile, *RunResult, error) {
+	return p.ProfileCtx(context.Background(), cfg)
 }
 
 // Report renders a ranked Fig. 2/3-style text profile.

@@ -8,26 +8,35 @@
 //	alchemist fig6      [-small]                            Fig. 6(a)-(d) scatter data
 //	alchemist table3    [-small]                            Table III (profiling cost)
 //	alchemist table4    [-small]                            Table IV (conflicts at parallelized spots)
-//	alchemist table5    [-small] [-runs N]                  Table V (speedups)
+//	alchemist table5    [-small] [-runs N] [-jobs N]        Table V (speedups)
 //	alchemist run       (-w workload | -f file.mc) [-parallel] [-par-src]
 //	alchemist disasm    (-w workload | -f file.mc)
 //	alchemist list                                          available workloads
+//
+// profile and advise accept an input suite — several profiling jobs that
+// are fanned over -jobs workers and merged into one union profile
+// (paper §II: profile completeness is a function of the test inputs):
+// -scales "0,1,2" profiles a workload at several input scales, and for
+// -f programs -input takes ';'-separated streams. profile, advise,
+// table5, and run accept -timeout to bound the wall-clock time; a
+// timed-out run fails with context.DeadlineExceeded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
+	"alchemist"
 	"alchemist/internal/advisor"
 	"alchemist/internal/bench"
-	"alchemist/internal/compile"
-	"alchemist/internal/core"
 	"alchemist/internal/ir"
 	"alchemist/internal/progs"
 	"alchemist/internal/report"
-	"alchemist/internal/vm"
 )
 
 func main() {
@@ -86,6 +95,14 @@ commands:
 run 'alchemist <command> -h' for flags`)
 }
 
+// newCtx builds the command context, honoring a -timeout flag.
+func newCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 // sourceFlags resolves -w / -f / -scale into a program + input.
 type sourceFlags struct {
 	workload string
@@ -101,9 +118,15 @@ func (sf *sourceFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&sf.parSrc, "par-src", false, "use the workload's spawn/sync variant")
 }
 
-func (sf *sourceFlags) load(inputCSV string) (name, src string, input []int64, memWords int64, err error) {
+// loadJobs resolves the source plus the multi-input flags into one
+// profiling job per input: -scales (workloads) or ';'-separated -input
+// groups (files). With neither, there is exactly one job.
+func (sf *sourceFlags) loadJobs(inputCSV, scalesCSV string) (name, src string, jobs []alchemist.ProfileJob, memWords int64, err error) {
 	switch {
 	case sf.workload != "":
+		if inputCSV != "" {
+			return "", "", nil, 0, fmt.Errorf("-input applies to -f programs; use -scale/-scales with -w")
+		}
 		w, err := progs.ByName(sf.workload)
 		if err != nil {
 			return "", "", nil, 0, err
@@ -115,20 +138,59 @@ func (sf *sourceFlags) load(inputCSV string) (name, src string, input []int64, m
 			}
 			src = w.ParSource
 		}
-		return w.Name + ".mc", src, w.InputFor(sf.scale), w.MemWords, nil
+		scales := []int{sf.scale}
+		if scalesCSV != "" {
+			scales = scales[:0]
+			for _, p := range strings.Split(scalesCSV, ",") {
+				s, err := strconv.Atoi(strings.TrimSpace(p))
+				if err != nil {
+					return "", "", nil, 0, fmt.Errorf("bad scale %q", p)
+				}
+				scales = append(scales, s)
+			}
+		}
+		for _, s := range scales {
+			jobs = append(jobs, alchemist.ProfileJob{Input: w.InputFor(s)})
+		}
+		return w.Name + ".mc", src, jobs, w.MemWords, nil
 	case sf.file != "":
+		if scalesCSV != "" {
+			return "", "", nil, 0, fmt.Errorf("-scales applies to -w workloads; use ';'-separated -input groups with -f")
+		}
 		data, err := os.ReadFile(sf.file)
 		if err != nil {
 			return "", "", nil, 0, err
 		}
-		input, err := parseInput(inputCSV)
-		if err != nil {
-			return "", "", nil, 0, err
+		groups := strings.Split(inputCSV, ";")
+		for i, group := range groups {
+			// An empty -input means one job with no input, but an empty
+			// group inside a suite is a typo (stray ';'), not a request
+			// to merge in an input-less run.
+			if strings.TrimSpace(group) == "" && len(groups) > 1 {
+				return "", "", nil, 0, fmt.Errorf("empty input group %d in %q (stray ';'?)", i+1, inputCSV)
+			}
+			input, err := parseInput(group)
+			if err != nil {
+				return "", "", nil, 0, err
+			}
+			jobs = append(jobs, alchemist.ProfileJob{Input: input})
 		}
-		return sf.file, string(data), input, 0, nil
+		return sf.file, string(data), jobs, 0, nil
 	default:
 		return "", "", nil, 0, fmt.Errorf("need -w <workload> or -f <file.mc>")
 	}
+}
+
+// load resolves the single-run form: exactly one input stream.
+func (sf *sourceFlags) load(inputCSV string) (name, src string, input []int64, memWords int64, err error) {
+	name, src, jobs, memWords, err := sf.loadJobs(inputCSV, "")
+	if err != nil {
+		return "", "", nil, 0, err
+	}
+	if len(jobs) != 1 {
+		return "", "", nil, 0, fmt.Errorf("this command takes a single input stream, got %d", len(jobs))
+	}
+	return name, src, jobs[0].Input, memWords, nil
 }
 
 func parseInput(csv string) ([]int64, error) {
@@ -138,8 +200,8 @@ func parseInput(csv string) ([]int64, error) {
 	parts := strings.Split(csv, ",")
 	out := make([]int64, 0, len(parts))
 	for _, p := range parts {
-		var v int64
-		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
 			return nil, fmt.Errorf("bad input element %q", p)
 		}
 		out = append(out, v)
@@ -147,26 +209,43 @@ func parseInput(csv string) ([]int64, error) {
 	return out, nil
 }
 
-func parseTypes(s string) ([]core.DepType, error) {
+func parseTypes(s string) ([]alchemist.DepType, error) {
 	if s == "" {
-		return []core.DepType{core.RAW}, nil
+		return []alchemist.DepType{alchemist.RAW}, nil
 	}
-	var out []core.DepType
+	var out []alchemist.DepType
 	for _, p := range strings.Split(s, ",") {
 		switch strings.ToLower(strings.TrimSpace(p)) {
 		case "raw":
-			out = append(out, core.RAW)
+			out = append(out, alchemist.RAW)
 		case "war":
-			out = append(out, core.WAR)
+			out = append(out, alchemist.WAR)
 		case "waw":
-			out = append(out, core.WAW)
+			out = append(out, alchemist.WAW)
 		case "all":
-			out = append(out, core.RAW, core.WAR, core.WAW)
+			out = append(out, alchemist.RAW, alchemist.WAR, alchemist.WAW)
 		default:
 			return nil, fmt.Errorf("unknown dependence type %q", p)
 		}
 	}
 	return out, nil
+}
+
+// profileMerged compiles the source through an Engine and profiles every
+// job concurrently, returning the union profile.
+func profileMerged(ctx context.Context, name, src string, jobs []alchemist.ProfileJob, memWords int64, workers int) (*alchemist.Profile, error) {
+	eng := alchemist.NewEngine(
+		alchemist.WithWorkers(workers),
+		alchemist.WithDefaultProfileConfig(alchemist.ProfileConfig{
+			RunConfig: alchemist.RunConfig{MemWords: memWords},
+		}),
+	)
+	prog, err := eng.Compile(ctx, name, src)
+	if err != nil {
+		return nil, err
+	}
+	merged, _, err := eng.ProfileBatch(ctx, prog, jobs)
+	return merged, err
 }
 
 func cmdProfile(args []string) error {
@@ -177,11 +256,14 @@ func cmdProfile(args []string) error {
 	edges := fs.Int("edges", 8, "edges per construct (0 = all)")
 	all := fs.Bool("all", false, "print non-violating edges too")
 	typesCSV := fs.String("types", "raw", "dependence types: raw,war,waw or all")
-	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs; ';' separates per-job streams")
+	scalesCSV := fs.String("scales", "", "comma-separated workload scales: one profiling job per scale, merged")
+	jobs := fs.Int("jobs", 1, "concurrent profiling jobs")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the profile as JSON")
 	fs.Parse(args)
 
-	name, src, input, memWords, err := sf.load(*inputCSV)
+	name, src, pjobs, memWords, err := sf.loadJobs(*inputCSV, *scalesCSV)
 	if err != nil {
 		return err
 	}
@@ -189,7 +271,9 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	prof, _, err := core.ProfileSource(name, src, vm.Config{Input: input, MemWords: memWords}, core.DefaultOptions())
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	prof, err := profileMerged(ctx, name, src, pjobs, memWords, *jobs)
 	if err != nil {
 		return err
 	}
@@ -207,14 +291,19 @@ func cmdAdvise(args []string) error {
 	var sf sourceFlags
 	sf.register(fs)
 	top := fs.Int("top", 8, "constructs to advise on")
-	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs; ';' separates per-job streams")
+	scalesCSV := fs.String("scales", "", "comma-separated workload scales: one profiling job per scale, merged")
+	jobs := fs.Int("jobs", 1, "concurrent profiling jobs")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	fs.Parse(args)
 
-	name, src, input, memWords, err := sf.load(*inputCSV)
+	name, src, pjobs, memWords, err := sf.loadJobs(*inputCSV, *scalesCSV)
 	if err != nil {
 		return err
 	}
-	prof, _, err := core.ProfileSource(name, src, vm.Config{Input: input, MemWords: memWords}, core.DefaultOptions())
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	prof, err := profileMerged(ctx, name, src, pjobs, memWords, *jobs)
 	if err != nil {
 		return err
 	}
@@ -283,8 +372,12 @@ func cmdTable5(args []string) error {
 	fs := flag.NewFlagSet("table5", flag.ExitOnError)
 	small := fs.Bool("small", false, "use small inputs")
 	runs := fs.Int("runs", 3, "timed runs per configuration (best kept)")
+	jobs := fs.Int("jobs", 1, "concurrent workload benchmarks (>1 skews wall-clock columns only)")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	fs.Parse(args)
-	rows, err := bench.Table5(bench.Scale{Small: *small}, *runs)
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	rows, err := bench.Table5Ctx(ctx, bench.Scale{Small: *small}, *runs, *jobs)
 	if err != nil {
 		return err
 	}
@@ -298,21 +391,22 @@ func cmdRun(args []string) error {
 	sf.register(fs)
 	parallel := fs.Bool("parallel", false, "execute spawns on goroutines")
 	inputCSV := fs.String("input", "", "comma-separated input stream for -f programs")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	fs.Parse(args)
 
 	name, src, input, memWords, err := sf.load(*inputCSV)
 	if err != nil {
 		return err
 	}
-	prog, err := compile.Build(name, src)
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	prog, err := alchemist.CompileCtx(ctx, name, src)
 	if err != nil {
 		return err
 	}
-	m, err := vm.New(prog, vm.Config{Input: input, MemWords: memWords, Parallel: *parallel, Out: os.Stdout})
-	if err != nil {
-		return err
-	}
-	res, err := m.Run()
+	res, err := prog.RunCtx(ctx, alchemist.RunConfig{
+		Input: input, MemWords: memWords, Parallel: *parallel, Stdout: os.Stdout,
+	})
 	if err != nil {
 		return err
 	}
@@ -330,11 +424,11 @@ func cmdDisasm(args []string) error {
 	if err != nil {
 		return err
 	}
-	prog, err := compile.Build(name, src)
+	prog, err := alchemist.CompileCtx(context.Background(), name, src)
 	if err != nil {
 		return err
 	}
-	for _, f := range prog.Funcs {
+	for _, f := range prog.IR().Funcs {
 		fmt.Print(ir.Disassemble(f))
 	}
 	return nil

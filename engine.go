@@ -1,0 +1,317 @@
+package alchemist
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultCacheSize is the compiled-program cache capacity of an Engine
+// built without WithCacheSize.
+const DefaultCacheSize = 64
+
+// CompileOptions selects compilation behaviour and is part of the
+// program-cache key: the same source compiled with different options
+// occupies distinct cache entries.
+type CompileOptions struct {
+	// Optimize runs the optimization passes (constant folding,
+	// unreachable-code elimination) before PCs are assigned.
+	Optimize bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the number of profiling runs an Engine executes
+// concurrently in ProfileBatch / ProfileEach. Values < 1 fall back to
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithCacheSize sets the compiled-program cache capacity in entries.
+// 0 keeps DefaultCacheSize; negative disables caching entirely.
+func WithCacheSize(n int) Option {
+	return func(e *Engine) { e.cacheCap = n }
+}
+
+// WithDefaultProfileConfig sets the ProfileConfig used by batch jobs
+// that do not carry their own config.
+func WithDefaultProfileConfig(cfg ProfileConfig) Option {
+	return func(e *Engine) { e.defProfile = cfg }
+}
+
+// WithCompileOptions sets the options Engine.Compile uses; CompileWith
+// always overrides them per call.
+func WithCompileOptions(co CompileOptions) Option {
+	return func(e *Engine) { e.defCompile = co }
+}
+
+// CacheStats reports compiled-program cache behaviour.
+type CacheStats struct {
+	// Hits and Misses count Compile/CompileWith lookups.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped to stay within capacity.
+	Evictions int64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// Engine is the long-lived service entry point: it owns a compiled-
+// program LRU cache and a bounded worker pool for concurrent batch
+// profiling. An Engine is safe for concurrent use by multiple
+// goroutines; the zero value is not usable — construct one with
+// NewEngine.
+//
+// The free functions of this package (Compile, Program.Profile, ...)
+// remain as deprecated wrappers over a package-default Engine.
+type Engine struct {
+	workers    int
+	cacheCap   int
+	defProfile ProfileConfig
+	defCompile CompileOptions
+
+	// sem bounds concurrent batch profiling runs across all
+	// ProfileBatch/ProfileEach calls on this Engine.
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[programKey]*list.Element
+	order *list.List // front = most recently used
+	stats CacheStats
+}
+
+// programKey identifies one cache entry: the source identity plus every
+// compile option that changes the produced bytecode.
+type programKey struct {
+	name     string
+	srcHash  [sha256.Size]byte
+	optimize bool
+}
+
+type programEntry struct {
+	key  programKey
+	prog *Program
+}
+
+// NewEngine builds an Engine. With no options it caches up to
+// DefaultCacheSize programs and profiles batches with GOMAXPROCS
+// workers.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{cacheCap: DefaultCacheSize}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.cacheCap == 0 {
+		e.cacheCap = DefaultCacheSize
+	}
+	e.sem = make(chan struct{}, e.workers)
+	if e.cacheCap > 0 {
+		e.cache = make(map[programKey]*list.Element)
+		e.order = list.New()
+	}
+	return e
+}
+
+// Workers reports the batch-profiling concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns a snapshot of the compiled-program cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Compile returns the compiled program for (name, src), reusing the
+// cache when the same source was compiled with the same options before.
+// Hot sources therefore skip the lexer/parser/sema/compile pipeline
+// entirely. The returned *Program is shared: it is immutable after
+// compilation and safe for concurrent Run/Profile calls.
+func (e *Engine) Compile(ctx context.Context, name, src string) (*Program, error) {
+	return e.CompileWith(ctx, name, src, e.defCompile)
+}
+
+// CompileWith is Compile with explicit per-call options.
+func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOptions) (*Program, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if e.cache == nil { // caching disabled
+		return compileProgram(name, src, co)
+	}
+	key := programKey{name: name, srcHash: sha256.Sum256([]byte(src)), optimize: co.Optimize}
+
+	e.mu.Lock()
+	if el, ok := e.cache[key]; ok {
+		e.order.MoveToFront(el)
+		e.stats.Hits++
+		prog := el.Value.(*programEntry).prog
+		e.mu.Unlock()
+		return prog, nil
+	}
+	e.stats.Misses++
+	e.mu.Unlock()
+
+	// Compile outside the lock: a slow compile must not stall cache hits
+	// on other sources. Two racing compiles of the same source both
+	// succeed; the first to insert wins and the other adopts it.
+	prog, err := compileProgram(name, src, co)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.cache[key]; ok {
+		e.order.MoveToFront(el)
+		return el.Value.(*programEntry).prog, nil
+	}
+	el := e.order.PushFront(&programEntry{key: key, prog: prog})
+	e.cache[key] = el
+	for e.order.Len() > e.cacheCap {
+		oldest := e.order.Back()
+		e.order.Remove(oldest)
+		delete(e.cache, oldest.Value.(*programEntry).key)
+		e.stats.Evictions++
+	}
+	e.stats.Entries = e.order.Len()
+	return prog, nil
+}
+
+// Run executes p without instrumentation under ctx.
+func (e *Engine) Run(ctx context.Context, p *Program, cfg RunConfig) (*RunResult, error) {
+	return p.RunCtx(ctx, cfg)
+}
+
+// Profile executes p sequentially under the profiler under ctx. A
+// config requesting parallel execution is rejected with
+// ErrProfileNeedsSequential.
+func (e *Engine) Profile(ctx context.Context, p *Program, cfg ProfileConfig) (*Profile, *RunResult, error) {
+	return p.ProfileCtx(ctx, cfg)
+}
+
+// ProfileJob is one profiling run within a batch: an input stream plus
+// an optional per-job config.
+type ProfileJob struct {
+	// Input is served to the program via the in()/inlen() builtins.
+	Input []int64
+	// Config overrides the engine's default profile config for this job.
+	// When nil the engine default applies. In both cases a non-nil
+	// Input above replaces the config's Input field.
+	Config *ProfileConfig
+}
+
+// BatchResult is the outcome of one ProfileJob.
+type BatchResult struct {
+	// Job indexes into the jobs slice passed to ProfileBatch/ProfileEach.
+	Job int
+	// Profile and Run are set when Err is nil.
+	Profile *Profile
+	Run     *RunResult
+	// Err is the job's failure, including ctx.Err() for jobs abandoned
+	// after cancellation.
+	Err error
+}
+
+// profileJobConfig resolves the effective config for one job.
+func (e *Engine) profileJobConfig(job ProfileJob) ProfileConfig {
+	cfg := e.defProfile
+	if job.Config != nil {
+		cfg = *job.Config
+	}
+	if job.Input != nil {
+		cfg.Input = job.Input
+	}
+	return cfg
+}
+
+// ProfileEach fans the jobs over the engine's worker pool and streams
+// one BatchResult per job in completion order. The returned channel is
+// closed after the last result. Cancelling ctx aborts running jobs
+// (each observes it within one VM step-check window) and fails
+// not-yet-started ones with ctx.Err().
+func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob) <-chan BatchResult {
+	if ctx == nil { // tolerate nil like every other entry point
+		ctx = context.Background()
+	}
+	out := make(chan BatchResult, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case e.sem <- struct{}{}:
+				defer func() { <-e.sem }()
+			case <-ctx.Done():
+				out <- BatchResult{Job: i, Err: ctx.Err()}
+				return
+			}
+			prof, res, err := p.ProfileCtx(ctx, e.profileJobConfig(jobs[i]))
+			out <- BatchResult{Job: i, Profile: prof, Run: res, Err: err}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// ProfileBatch profiles p over all jobs concurrently and merges the
+// per-job profiles, in job order, into one union profile — equivalent
+// to (and byte-identical with, via WriteJSON) calling Profile per job
+// sequentially and passing the results to Merge. The per-job results
+// are returned in job order alongside the merged profile. If any job
+// fails, the merged profile is nil and the error is the failure of the
+// lowest-indexed failing job.
+func (e *Engine) ProfileBatch(ctx context.Context, p *Program, jobs []ProfileJob) (*Profile, []BatchResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("alchemist: ProfileBatch needs at least one job")
+	}
+	results := make([]BatchResult, len(jobs))
+	for r := range e.ProfileEach(ctx, p, jobs) {
+		results[r.Job] = r
+	}
+	profiles := make([]*Profile, len(jobs))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, results, fmt.Errorf("alchemist: batch job %d: %w", i, r.Err)
+		}
+		profiles[i] = r.Profile
+	}
+	merged, err := Merge(profiles...)
+	if err != nil {
+		return nil, results, err
+	}
+	return merged, results, nil
+}
+
+// defaultEngine backs the deprecated package-level facade functions.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the package-default Engine used by the
+// deprecated free functions. It is created on first use with default
+// options.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

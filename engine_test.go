@@ -1,0 +1,376 @@
+package alchemist_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"alchemist"
+)
+
+const batchSrc = `// batch.mc
+int hist[256];
+int total;
+
+void handle(int v) {
+	int acc = 0;
+	for (int k = 0; k < 40; k++) {
+		acc += (v * 31 + k) & 255;
+	}
+	hist[v & 255] += acc;
+	total += acc;
+}
+
+int main() {
+	for (int i = 0; i < inlen(); i++) {
+		handle(in(i));
+	}
+	out(total);
+	return 0;
+}`
+
+func batchInputs() [][]int64 {
+	inputs := make([][]int64, 3)
+	for j := range inputs {
+		in := make([]int64, 30)
+		for i := range in {
+			in[i] = int64(i*7 + j*13)
+		}
+		inputs[j] = in
+	}
+	return inputs
+}
+
+// TestEngineCompileCache: identical (name, source, options) hit the
+// cache and return the identical *Program; distinct options miss.
+func TestEngineCompileCache(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithCacheSize(2))
+
+	p1, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("second Compile of identical source did not hit the cache")
+	}
+	if st := eng.CacheStats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats after hit = %+v, want Hits=1 Misses=1 Entries=1", st)
+	}
+
+	// Same source, different options: distinct entry, distinct program.
+	p3, err := eng.CompileWith(ctx, "batch.mc", batchSrc, alchemist.CompileOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("Optimize compile returned the unoptimized cache entry")
+	}
+	if st := eng.CacheStats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats after optimize miss = %+v, want Misses=2 Entries=2", st)
+	}
+
+	// Capacity is 2: a third distinct entry evicts the LRU one
+	// (batch.mc unoptimized was used least recently... MoveToFront puts
+	// the optimize entry first, so the plain entry is evicted only after
+	// another insert).
+	if _, err := eng.Compile(ctx, "other.mc", "int main() { return 0; }"); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats after eviction = %+v, want Evictions=1 Entries=2", st)
+	}
+
+	// The evicted program recompiles to a fresh pointer.
+	p4, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Error("evicted entry still served from cache")
+	}
+}
+
+// TestEngineCacheDisabled: negative cache size compiles fresh each time.
+func TestEngineCacheDisabled(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithCacheSize(-1))
+	p1, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("cache disabled but programs shared")
+	}
+	if st := eng.CacheStats(); st != (alchemist.CacheStats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+}
+
+// TestEngineCompileConcurrent: racing compiles of one source converge on
+// one cached program.
+func TestEngineCompileConcurrent(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
+	progs := make([]*alchemist.Program, 16)
+	var wg sync.WaitGroup
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := eng.Compile(ctx, "batch.mc", batchSrc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(progs); i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("compile %d returned a different program", i)
+		}
+	}
+	if st := eng.CacheStats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestProfileBatchMatchesSequentialMerge: the concurrent batch produces
+// a merged profile byte-identical (via WriteJSON) to sequentially
+// profiling each input and merging.
+func TestProfileBatchMatchesSequentialMerge(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithWorkers(3))
+	prog, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs()
+
+	// Sequential reference: Profile per input, then Merge.
+	seq := make([]*alchemist.Profile, len(inputs))
+	for i, in := range inputs {
+		p, _, err := prog.ProfileCtx(ctx, alchemist.ProfileConfig{
+			RunConfig: alchemist.RunConfig{Input: in},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = p
+	}
+	want, err := alchemist.Merge(seq...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := make([]alchemist.ProfileJob, len(inputs))
+	for i, in := range inputs {
+		jobs[i] = alchemist.ProfileJob{Input: in}
+	}
+	got, results, err := eng.ProfileBatch(ctx, prog, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Job != i || r.Err != nil || r.Profile == nil || r.Run == nil {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+
+	var wantJSON, gotJSON bytes.Buffer
+	if err := alchemist.WriteJSON(&wantJSON, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := alchemist.WriteJSON(&gotJSON, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+		t.Errorf("batch JSON differs from sequential merge JSON:\nbatch: %.400s\nseq:   %.400s",
+			gotJSON.String(), wantJSON.String())
+	}
+}
+
+// TestProfileEachStreams: every job reports exactly once with its index.
+func TestProfileEachStreams(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithWorkers(2))
+	prog, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]alchemist.ProfileJob, 5)
+	for i := range jobs {
+		jobs[i] = alchemist.ProfileJob{Input: []int64{int64(i), int64(i + 1)}}
+	}
+	seen := make(map[int]bool)
+	for r := range eng.ProfileEach(ctx, prog, jobs) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.Job, r.Err)
+		}
+		if seen[r.Job] {
+			t.Fatalf("job %d reported twice", r.Job)
+		}
+		seen[r.Job] = true
+	}
+	if len(seen) != len(jobs) {
+		t.Errorf("saw %d results, want %d", len(seen), len(jobs))
+	}
+}
+
+// TestProfileBatchJobError: a failing job surfaces its error and fails
+// the batch.
+func TestProfileBatchJobError(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
+	prog, err := eng.Compile(ctx, "oob.mc", `int main() { out(in(0)); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, results, err := eng.ProfileBatch(ctx, prog, []alchemist.ProfileJob{
+		{Input: []int64{7}},
+		{Input: []int64{}}, // in(0) out of range
+	})
+	if err == nil || merged != nil {
+		t.Fatalf("batch = (%v, %v), want error", merged, err)
+	}
+	if results[0].Err != nil || results[1].Err == nil {
+		t.Errorf("per-job errors = [%v, %v]", results[0].Err, results[1].Err)
+	}
+}
+
+// TestProfileBatchCancel: cancelling the context fails the batch with
+// context.Canceled.
+func TestProfileBatchCancel(t *testing.T) {
+	eng := alchemist.NewEngine(alchemist.WithWorkers(1))
+	src := `int main() { int s = 0; for (int i = 0; i < 100000000; i++) { s += i; } out(s); return 0; }`
+	prog, err := eng.Compile(context.Background(), "long.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = eng.ProfileBatch(ctx, prog, []alchemist.ProfileJob{{}, {}, {}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled batch took %v", elapsed)
+	}
+}
+
+// TestProfileBatchNilContext: a nil context is tolerated like every
+// other entry point, not a panic in the worker goroutines.
+func TestProfileBatchNilContext(t *testing.T) {
+	eng := alchemist.NewEngine()
+	prog, err := eng.Compile(nil, "nilctx.mc", `int main() { out(inlen()); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := eng.ProfileBatch(nil, prog, []alchemist.ProfileJob{
+		{Input: []int64{1}}, {Input: []int64{2, 3}},
+	})
+	if err != nil || merged == nil {
+		t.Fatalf("batch = (%v, %v)", merged, err)
+	}
+}
+
+// TestProfileRejectsParallel: profiling must not silently override a
+// parallel config — it errors instead.
+func TestProfileRejectsParallel(t *testing.T) {
+	prog, err := alchemist.CompileCtx(context.Background(), "p.mc", `int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []alchemist.ProfileConfig{
+		{RunConfig: alchemist.RunConfig{Parallel: true}},
+		{RunConfig: alchemist.RunConfig{SimWorkers: 2}},
+	} {
+		if _, _, err := prog.Profile(cfg); !errors.Is(err, alchemist.ErrProfileNeedsSequential) {
+			t.Errorf("Profile(%+v) err = %v, want ErrProfileNeedsSequential", cfg, err)
+		}
+	}
+	// Engine.Profile enforces the same contract.
+	if _, _, err := alchemist.DefaultEngine().Profile(context.Background(), prog,
+		alchemist.ProfileConfig{RunConfig: alchemist.RunConfig{Parallel: true}}); !errors.Is(err, alchemist.ErrProfileNeedsSequential) {
+		t.Errorf("Engine.Profile err = %v, want ErrProfileNeedsSequential", err)
+	}
+}
+
+// TestWithDefaultProfileConfig: batch jobs without a config inherit the
+// engine default, with the job input substituted.
+func TestWithDefaultProfileConfig(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithDefaultProfileConfig(alchemist.ProfileConfig{
+		RunConfig: alchemist.RunConfig{StepLimit: 50},
+	}))
+	prog, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, results, err := eng.ProfileBatch(ctx, prog, []alchemist.ProfileJob{
+		{Input: []int64{1, 2, 3}},
+	})
+	if err == nil {
+		t.Fatal("expected the inherited StepLimit to trap")
+	}
+	if r := results[0]; r.Err == nil || !errContains(r.Err, "step limit") {
+		t.Errorf("job err = %v, want step-limit trap", r.Err)
+	}
+}
+
+func errContains(err error, sub string) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte(sub))
+}
+
+// TestCompileCtxCancelled: compilation respects an already-cancelled
+// context.
+func TestCompileCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := alchemist.CompileCtx(ctx, "x.mc", "int main() { return 0; }"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompileCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeprecatedFacade: the free functions still work as wrappers over
+// the default engine.
+func TestDeprecatedFacade(t *testing.T) {
+	src := fmt.Sprintf("int main() { out(%d); return 0; }", 41)
+	prog, err := alchemist.Compile("facade.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(alchemist.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 41 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	prog2, err := alchemist.Compile("facade.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog2 != prog {
+		t.Error("default engine did not cache the facade compile")
+	}
+}

@@ -7,20 +7,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"alchemist"
 	"alchemist/internal/progs"
 )
 
 func main() {
+	// A service would hold one long-lived Engine; the timeout bounds the
+	// profiling run end to end.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	eng := alchemist.NewEngine()
+
 	w := progs.Gzip()
-	prog, err := alchemist.Compile("gzip.mc", w.Source)
+	prog, err := eng.Compile(ctx, "gzip.mc", w.Source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, _, err := prog.Profile(alchemist.ProfileConfig{
+	profile, _, err := eng.Profile(ctx, prog, alchemist.ProfileConfig{
 		RunConfig: alchemist.RunConfig{
 			Input:    w.InputFor(0),
 			MemWords: w.MemWords,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,11 +57,14 @@ int main() {
 `
 
 func main() {
-	prog, err := alchemist.Compile("contexts.mc", src)
+	// The lightweight path: CompileCtx/ProfileCtx go through the
+	// package-default Engine without constructing one explicitly.
+	ctx := context.Background()
+	prog, err := alchemist.CompileCtx(ctx, "contexts.mc", src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, _, err := prog.Profile(alchemist.ProfileConfig{})
+	profile, _, err := prog.ProfileCtx(ctx, alchemist.ProfileConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,14 +2,16 @@
 // that "the completeness of the dependencies identified by Alchemist is a
 // function of the test inputs used to run the profiler" (§II): a
 // dependence that a single input never exercises is invisible. This
-// example profiles a dispatcher under three different inputs, shows the
-// per-input profiles disagree about parallelizability, and merges them
-// into a judgment over the whole suite.
+// example profiles a dispatcher under three different inputs with one
+// Engine.ProfileBatch call — the jobs run concurrently on the engine's
+// worker pool and the per-job profiles are merged into a judgment over
+// the whole suite.
 //
 // Run with: go run ./examples/inputsuite
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,26 +50,6 @@ int main() {
 }
 `
 
-// Profiles to be merged must come from one compiled program, so PCs
-// (construct labels) line up.
-var program = func() *alchemist.Program {
-	prog, err := alchemist.Compile("dispatcher.mc", src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return prog
-}()
-
-func profileOn(input []int64) *alchemist.Profile {
-	p, _, err := program.Profile(alchemist.ProfileConfig{
-		RunConfig: alchemist.RunConfig{Input: input},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return p
-}
-
 func violations(p *alchemist.Profile) int {
 	h := p.ConstructForFunc("handle")
 	if h == nil {
@@ -87,19 +69,31 @@ func main() {
 		slow = append(slow, i, 1)
 	}
 
-	pFast := profileOn(fast)
-	pMixed := profileOn(mixed)
-	pSlow := profileOn(slow)
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithWorkers(3))
 
-	fmt.Println("violating RAW deps on handle(), per input:")
-	fmt.Printf("  fast-path only: %d  (handle looks like a clean future candidate!)\n", violations(pFast))
-	fmt.Printf("  mixed:          %d\n", violations(pMixed))
-	fmt.Printf("  slow-path only: %d\n", violations(pSlow))
-
-	merged, err := alchemist.Merge(pFast, pMixed, pSlow)
+	// Profiles to be merged must come from one compiled program, so PCs
+	// (construct labels) line up; the engine's cache guarantees that for
+	// repeated compiles of the same source.
+	program, err := eng.Compile(ctx, "dispatcher.mc", src)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// One batch call: the three jobs profile concurrently and the union
+	// profile comes back merged in job order.
+	merged, results, err := eng.ProfileBatch(ctx, program, []alchemist.ProfileJob{
+		{Input: fast}, {Input: mixed}, {Input: slow},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("violating RAW deps on handle(), per input:")
+	fmt.Printf("  fast-path only: %d  (handle looks like a clean future candidate!)\n", violations(results[0].Profile))
+	fmt.Printf("  mixed:          %d\n", violations(results[1].Profile))
+	fmt.Printf("  slow-path only: %d\n", violations(results[2].Profile))
+
 	fmt.Printf("\nmerged over the suite: %d violating RAW deps\n", violations(merged))
 	h := merged.ConstructForFunc("handle")
 	for _, e := range h.ViolatingEdges(alchemist.RAW) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,15 +18,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
 	w := progs.AES()
 	input := w.InputFor(0)
 
 	// Step 1: profile the sequential program.
-	seq, err := alchemist.Compile("aes.mc", w.Source)
+	seq, err := eng.Compile(ctx, "aes.mc", w.Source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, _, err := seq.Profile(alchemist.ProfileConfig{
+	profile, _, err := eng.Profile(ctx, seq, alchemist.ProfileConfig{
 		RunConfig: alchemist.RunConfig{Input: input, MemWords: w.MemWords},
 	})
 	if err != nil {
@@ -60,15 +63,15 @@ func main() {
 
 	// Step 3: run the sequential and the hand-parallelized versions and
 	// compare (deterministic virtual-time simulation, 4 workers).
-	seqRes, err := seq.Run(alchemist.RunConfig{Input: input, MemWords: w.MemWords})
+	seqRes, err := eng.Run(ctx, seq, alchemist.RunConfig{Input: input, MemWords: w.MemWords})
 	if err != nil {
 		log.Fatal(err)
 	}
-	par, err := alchemist.Compile("aes_par.mc", w.ParSource)
+	par, err := eng.Compile(ctx, "aes_par.mc", w.ParSource)
 	if err != nil {
 		log.Fatal(err)
 	}
-	parRes, err := par.Run(alchemist.RunConfig{Input: input, MemWords: w.MemWords, SimWorkers: 4})
+	parRes, err := eng.Run(ctx, par, alchemist.RunConfig{Input: input, MemWords: w.MemWords, SimWorkers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

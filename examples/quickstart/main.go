@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,12 +59,15 @@ int main() {
 `
 
 func main() {
-	prog, err := alchemist.Compile("quickstart.mc", src)
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
+
+	prog, err := eng.Compile(ctx, "quickstart.mc", src)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	profile, result, err := prog.Profile(alchemist.ProfileConfig{})
+	profile, result, err := eng.Profile(ctx, prog, alchemist.ProfileConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module alchemist
+
+go 1.24

@@ -7,7 +7,10 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"alchemist/internal/compile"
@@ -261,6 +264,12 @@ const Table5Workers = 4
 // timed instead; the simulation keeps the experiment reproducible on any
 // machine).
 func Table5Bench(w *progs.Workload, sc Scale, runs int) (report.Table5Row, error) {
+	return Table5BenchCtx(context.Background(), w, sc, runs)
+}
+
+// Table5BenchCtx is Table5Bench under a context: cancellation aborts the
+// in-flight VM run within one step-check window.
+func Table5BenchCtx(ctx context.Context, w *progs.Workload, sc Scale, runs int) (report.Table5Row, error) {
 	if !w.HasParallel() {
 		return report.Table5Row{}, fmt.Errorf("%s has no parallel variant", w.Name)
 	}
@@ -281,7 +290,7 @@ func Table5Bench(w *progs.Workload, sc Scale, runs int) (report.Table5Row, error
 				return nil, 0, err
 			}
 			start := time.Now()
-			res, err = m.Run()
+			res, err = m.RunCtx(ctx)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -312,13 +321,59 @@ func Table5Bench(w *progs.Workload, sc Scale, runs int) (report.Table5Row, error
 // Table5 measures every workload that has a parallel variant (bzip2, ogg,
 // par2, aes — the paper's Table V set).
 func Table5(sc Scale, runs int) ([]report.Table5Row, error) {
-	var rows []report.Table5Row
-	for _, w := range []*progs.Workload{progs.Bzip2(), progs.Ogg(), progs.Par2(), progs.AES()} {
-		row, err := Table5Bench(w, sc, runs)
-		if err != nil {
+	return Table5Ctx(context.Background(), sc, runs, 1)
+}
+
+// Table5Ctx measures the Table V workloads with up to jobs benchmarks in
+// flight at once, preserving the fixed row order. Concurrent jobs only
+// skew the wall-clock columns, not the instruction-count speedups
+// (VirtualSteps is deterministic), so jobs > 1 trades timing fidelity
+// for latency.
+func Table5Ctx(ctx context.Context, sc Scale, runs, jobs int) ([]report.Table5Row, error) {
+	workloads := []*progs.Workload{progs.Bzip2(), progs.Ogg(), progs.Par2(), progs.AES()}
+	if jobs < 1 {
+		jobs = 1
+	}
+	// The first failure cancels the sibling benchmarks (each aborts
+	// within one VM step-check window) instead of letting them run to
+	// completion on doomed work.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	rows := make([]report.Table5Row, len(workloads))
+	errs := make([]error, len(workloads))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, w := range workloads {
+		wg.Add(1)
+		go func(i int, w *progs.Workload) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			rows[i], errs[i] = Table5BenchCtx(ctx, w, sc, runs)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	// Report the first genuine failure, not a secondary cancellation it
+	// caused in a sibling.
+	var first error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
 			return nil, err
 		}
-		rows = append(rows, row)
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	return rows, nil
 }

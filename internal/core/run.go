@@ -1,14 +1,18 @@
 package core
 
 import (
+	"context"
+
 	"alchemist/internal/compile"
 	"alchemist/internal/ir"
 	"alchemist/internal/vm"
 )
 
-// ProfileProgram runs prog sequentially under the profiler and returns
-// the dependence profile together with the VM result.
-func ProfileProgram(prog *ir.Program, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+// ProfileProgramCtx runs prog sequentially under the profiler and returns
+// the dependence profile together with the VM result. Cancelling ctx
+// aborts the run within one VM step-check window; the error is then
+// ctx.Err().
+func ProfileProgramCtx(ctx context.Context, prog *ir.Program, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
 	if vmCfg.MemWords == 0 {
 		vmCfg.MemWords = 1 << 22
 	}
@@ -22,29 +26,44 @@ func ProfileProgram(prog *ir.Program, vmCfg vm.Config, opts Options) (*Profile, 
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run()
+	res, err := m.RunCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	return prof.Finish(), res, nil
 }
 
-// ProfileSource compiles mini-C source text and profiles it.
-func ProfileSource(name, src string, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+// ProfileProgram is ProfileProgramCtx without cancellation.
+func ProfileProgram(prog *ir.Program, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+	return ProfileProgramCtx(context.Background(), prog, vmCfg, opts)
+}
+
+// ProfileSourceCtx compiles mini-C source text and profiles it under ctx.
+func ProfileSourceCtx(ctx context.Context, name, src string, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
 	prog, err := compile.Build(name, src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return ProfileProgram(prog, vmCfg, opts)
+	return ProfileProgramCtx(ctx, prog, vmCfg, opts)
 }
 
-// RunProgram executes prog without instrumentation (the Table III "Orig."
-// configuration).
-func RunProgram(prog *ir.Program, vmCfg vm.Config) (*vm.Result, error) {
+// ProfileSource compiles mini-C source text and profiles it.
+func ProfileSource(name, src string, vmCfg vm.Config, opts Options) (*Profile, *vm.Result, error) {
+	return ProfileSourceCtx(context.Background(), name, src, vmCfg, opts)
+}
+
+// RunProgramCtx executes prog without instrumentation (the Table III
+// "Orig." configuration) under ctx.
+func RunProgramCtx(ctx context.Context, prog *ir.Program, vmCfg vm.Config) (*vm.Result, error) {
 	vmCfg.Tracer = nil
 	m, err := vm.New(prog, vmCfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunCtx(ctx)
+}
+
+// RunProgram is RunProgramCtx without cancellation.
+func RunProgram(prog *ir.Program, vmCfg vm.Config) (*vm.Result, error) {
+	return RunProgramCtx(context.Background(), prog, vmCfg)
 }

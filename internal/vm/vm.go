@@ -21,9 +21,11 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +33,13 @@ import (
 	"alchemist/internal/sema"
 	"alchemist/internal/source"
 )
+
+// CancelCheckInterval is the maximum number of executed instructions
+// between context-cancellation checks in the dispatch loop. The check is
+// piggybacked on the step-limit branch, so a cancellable run costs the
+// same single compare per instruction as an uncancellable one; a
+// cancelled context is observed within one interval per goroutine.
+const CancelCheckInterval = 4096
 
 // Tracer receives execution events from the VM. Implementations must be
 // fast; Step fires for every instruction. Tracers are only supported in
@@ -205,6 +214,14 @@ func (vm *VM) GlobalArrayValues(name string) ([]int64, bool) {
 
 // Run executes main and returns the result.
 func (vm *VM) Run() (*Result, error) {
+	return vm.RunCtx(context.Background())
+}
+
+// RunCtx executes main under ctx. Cancellation is observed by every
+// interpreter goroutine within CancelCheckInterval instructions; the
+// returned error is then ctx.Err() (context.Canceled or
+// context.DeadlineExceeded), not a RuntimeError.
+func (vm *VM) RunCtx(ctx context.Context) (*Result, error) {
 	if vm.ran {
 		return nil, errors.New("vm: Run called twice")
 	}
@@ -212,7 +229,12 @@ func (vm *VM) Run() (*Result, error) {
 	if vm.prog.Main == nil {
 		return nil, errors.New("vm: program has no main")
 	}
-	ex := &execCtx{vm: vm}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	ex := vm.newExecCtx(ctx)
 	ret, err := vm.runFrame(vm.prog.Main, nil, ex)
 	if err != nil {
 		return nil, err
@@ -253,6 +275,66 @@ type execCtx struct {
 	// chain, but spawned children advance it only through the
 	// virtual-worker schedule at join points.
 	vtime int64
+
+	// ctx is non-nil only when the run is cancellable (ctx.Done() is
+	// non-nil); limit mirrors Config.StepLimit. Both feed the single
+	// dispatch-loop slow-path branch: the loop compares steps against
+	// nextCheck, and check() re-arms nextCheck so that cancellation is
+	// polled every CancelCheckInterval steps and the step limit trips at
+	// exactly steps == limit+1 (the historical trap point). A run with
+	// no context and no limit parks nextCheck at MaxInt64.
+	ctx       context.Context
+	limit     int64
+	nextCheck int64
+}
+
+// newExecCtx builds the root interpreter state for a run under ctx.
+func (vm *VM) newExecCtx(ctx context.Context) *execCtx {
+	ex := &execCtx{vm: vm, limit: vm.cfg.StepLimit}
+	if ctx != nil && ctx.Done() != nil {
+		ex.ctx = ctx
+	}
+	ex.armCheck()
+	return ex
+}
+
+// child derives the interpreter state for a spawned goroutine or a
+// simulated child: fresh counters, same cancellation scope.
+func (ex *execCtx) child() *execCtx {
+	c := &execCtx{vm: ex.vm, ctx: ex.ctx, limit: ex.limit}
+	c.armCheck()
+	return c
+}
+
+// armCheck schedules the next slow-path check. A limit of MaxInt64 can
+// never trap (steps > limit is unsatisfiable), so it parks like
+// limit 0 rather than overflowing limit+1.
+func (ex *execCtx) armCheck() {
+	next := int64(math.MaxInt64)
+	if ex.limit > 0 && ex.limit < math.MaxInt64 {
+		next = ex.limit + 1
+	}
+	if ex.ctx != nil {
+		if c := ex.steps + CancelCheckInterval; c < next {
+			next = c
+		}
+	}
+	ex.nextCheck = next
+}
+
+// check is the dispatch loop's slow path: context cancellation first,
+// then the step limit, then re-arm.
+func (ex *execCtx) check(in *ir.Instr) error {
+	if ex.ctx != nil {
+		if err := ex.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if ex.limit > 0 && ex.steps > ex.limit {
+		return ex.vm.trap(in, "step limit %d exceeded", ex.limit)
+	}
+	ex.armCheck()
+	return nil
 }
 
 // simSpawn records one simulated spawn: the parent's virtual time at the
@@ -376,15 +458,16 @@ func (vm *VM) runFrame(f *ir.Func, args []int64, ex *execCtx) (int64, error) {
 
 	code := f.Code
 	base := f.Base
-	limit := vm.cfg.StepLimit
 	pc := 0
 	for {
 		in := &code[pc]
 		ex.steps++
 		ex.vtime++
-		if limit > 0 && ex.steps > limit {
-			joinSpawns()
-			return 0, vm.trap(in, "step limit %d exceeded", limit)
+		if ex.steps >= ex.nextCheck {
+			if err := ex.check(in); err != nil {
+				joinSpawns()
+				return 0, err
+			}
 		}
 		if t != nil {
 			t.Step(base + pc)
@@ -516,7 +599,7 @@ func (vm *VM) runFrame(f *ir.Func, args []int64, ex *execCtx) (int64, error) {
 				wg.Add(1)
 				go func(callee *ir.Func, args []int64) {
 					defer wg.Done()
-					child := &execCtx{vm: vm}
+					child := ex.child()
 					_, err := vm.runFrame(callee, args, child)
 					atomic.AddInt64(&vm.parSteps, child.steps)
 					if err != nil {
@@ -527,7 +610,7 @@ func (vm *VM) runFrame(f *ir.Func, args []int64, ex *execCtx) (int64, error) {
 				// Virtual-time simulation: run the child inline on its
 				// own virtual clock and charge its critical path to a
 				// virtual worker at the next join.
-				child := &execCtx{vm: vm}
+				child := ex.child()
 				if _, err := vm.runFrame(in.Callee, args, child); err != nil {
 					joinSpawns()
 					return 0, err

@@ -1,0 +1,217 @@
+package vm_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/ir"
+	"alchemist/internal/vm"
+)
+
+// armCtx is a context whose cancellation flips at a precisely known
+// instruction, so the cancellation window can be measured in steps
+// rather than wall-clock time.
+type armCtx struct {
+	armed atomic.Bool
+	done  chan struct{}
+}
+
+func newArmCtx() *armCtx { return &armCtx{done: make(chan struct{})} }
+
+func (c *armCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *armCtx) Done() <-chan struct{}       { return c.done }
+func (c *armCtx) Value(any) any               { return nil }
+func (c *armCtx) Err() error {
+	if c.armed.Load() {
+		return context.Canceled
+	}
+	return nil
+}
+
+// stepArmTracer counts executed instructions and arms the context at a
+// chosen step.
+type stepArmTracer struct {
+	steps int64
+	armAt int64
+	ctx   *armCtx
+}
+
+func (t *stepArmTracer) Step(gpc int) {
+	t.steps++
+	if t.steps == t.armAt {
+		t.ctx.armed.Store(true)
+	}
+}
+func (t *stepArmTracer) Load(addr int64, gpc int)              {}
+func (t *stepArmTracer) Store(addr int64, gpc int)             {}
+func (t *stepArmTracer) EnterFunc(f *ir.Func)                  {}
+func (t *stepArmTracer) ExitFunc(f *ir.Func)                   {}
+func (t *stepArmTracer) Branch(in *ir.Instr, gpc int, ok bool) {}
+
+const longLoopSrc = `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 100000000; i++) {
+		s += i;
+	}
+	out(s);
+	return 0;
+}`
+
+// TestRunCtxCancelWindow: a cancellation is observed within one
+// step-check window (CancelCheckInterval instructions) of the arming
+// point, and surfaces as context.Canceled.
+func TestRunCtxCancelWindow(t *testing.T) {
+	prog, err := compile.Build("loop.mc", longLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newArmCtx()
+	tr := &stepArmTracer{armAt: 1000, ctx: ctx}
+	m, err := vm.New(prog, vm.Config{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = (%v, %v), want context.Canceled", res, err)
+	}
+	ran := tr.steps - tr.armAt
+	if ran < 0 || ran > vm.CancelCheckInterval {
+		t.Errorf("ran %d instructions after cancellation, want <= %d", ran, vm.CancelCheckInterval)
+	}
+}
+
+// TestRunCtxPreCancelled: an already-cancelled context aborts before any
+// instruction executes.
+func TestRunCtxPreCancelled(t *testing.T) {
+	prog, err := compile.Build("loop.mc", longLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &stepArmTracer{}
+	m, err := vm.New(prog, vm.Config{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if tr.steps != 0 {
+		t.Errorf("executed %d instructions under a pre-cancelled context", tr.steps)
+	}
+}
+
+// TestRunCtxDeadline: a deadline surfaces as context.DeadlineExceeded.
+func TestRunCtxDeadline(t *testing.T) {
+	prog, err := compile.Build("loop.mc", longLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := m.RunCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxCancelParallel: spawned goroutines observe cancellation too.
+func TestRunCtxCancelParallel(t *testing.T) {
+	src := `
+void work() {
+	int s = 0;
+	for (int i = 0; i < 50000000; i++) {
+		s += i;
+	}
+}
+int main() {
+	spawn work();
+	spawn work();
+	sync;
+	return 0;
+}`
+	prog, err := compile.Build("spawnloop.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = m.RunCtx(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want context.DeadlineExceeded", err)
+	}
+	// ~100M spawned instructions take far longer than the deadline plus
+	// one check window; finishing quickly proves the children aborted.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("parallel run took %v after a 15ms deadline", elapsed)
+	}
+}
+
+// TestRunCtxMaxStepLimit: a MaxInt64 "unlimited" sentinel neither traps
+// nor overflows the check scheduling; the program runs to completion
+// and cancellation still works.
+func TestRunCtxMaxStepLimit(t *testing.T) {
+	prog, err := compile.Build("small.mc", `int main() { int s = 0; for (int i = 0; i < 100; i++) { s += i; } out(s); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{StepLimit: math.MaxInt64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := m.RunCtx(ctx)
+	if err != nil {
+		t.Fatalf("RunCtx = %v", err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 4950 {
+		t.Errorf("output = %v, want [4950]", res.Output)
+	}
+}
+
+// TestRunCtxStepLimitPreserved: the step limit still traps at the same
+// point with a cancellable context attached, and the trap stays a
+// RuntimeError rather than a context error.
+func TestRunCtxStepLimitPreserved(t *testing.T) {
+	prog, err := compile.Build("loop.mc", longLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int64{1, 100, vm.CancelCheckInterval - 1, vm.CancelCheckInterval, vm.CancelCheckInterval + 7} {
+		tr := &stepArmTracer{}
+		m, err := vm.New(prog, vm.Config{StepLimit: limit, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err = m.RunCtx(ctx)
+		cancel()
+		var rte *vm.RuntimeError
+		if !errors.As(err, &rte) || !strings.Contains(err.Error(), "step limit") {
+			t.Fatalf("limit %d: err = %v, want step-limit RuntimeError", limit, err)
+		}
+		// The trap fires before executing instruction limit+1, so the
+		// tracer saw exactly `limit` instructions.
+		if tr.steps != limit {
+			t.Errorf("limit %d: tracer saw %d steps, want %d", limit, tr.steps, limit)
+		}
+	}
+}
