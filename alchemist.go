@@ -146,6 +146,15 @@ type RunConfig struct {
 	Stdout io.Writer
 	// Seed seeds the program-visible PRNG.
 	Seed uint64
+	// OnProgress, when set, receives the executed instruction count from
+	// the root interpreter goroutine every vm.CancelCheckInterval steps
+	// (piggybacked on the existing cancellation check, so the hot path
+	// is untouched) and once more with the final total on successful
+	// completion. Reports are monotonically non-decreasing.
+	OnProgress func(steps int64)
+
+	// metrics is the VM instrumentation sink, injected by the Engine.
+	metrics *vm.Metrics
 }
 
 func (c RunConfig) vmConfig() vm.Config {
@@ -157,6 +166,8 @@ func (c RunConfig) vmConfig() vm.Config {
 		SimWorkers: c.SimWorkers,
 		Out:        c.Stdout,
 		Seed:       c.Seed,
+		OnProgress: c.OnProgress,
+		Metrics:    c.metrics,
 	}
 }
 
@@ -200,6 +211,10 @@ type ProfileConfig struct {
 	ReaderSlots int
 	// PoolPrealloc warms the construct pool (default 4096 nodes).
 	PoolPrealloc int
+
+	// scratch recycles profiling buffers across runs, injected by the
+	// Engine batch path.
+	scratch *core.Scratch
 }
 
 // ProfileCtx executes the program sequentially under the profiler,
@@ -213,6 +228,7 @@ func (p *Program) ProfileCtx(ctx context.Context, cfg ProfileConfig) (*Profile, 
 	opts.TrackWAW = !cfg.DisableWAW
 	opts.ReaderSlots = cfg.ReaderSlots
 	opts.PoolPrealloc = cfg.PoolPrealloc
+	opts.Scratch = cfg.scratch
 	return core.ProfileProgramCtx(ctx, p.ir, cfg.vmConfig(), opts)
 }
 

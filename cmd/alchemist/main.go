@@ -20,6 +20,11 @@
 // -f programs -input takes ';'-separated streams. profile, advise,
 // table5, and run accept -timeout to bound the wall-clock time; a
 // timed-out run fails with context.DeadlineExceeded.
+//
+// profile and table5 accept -metrics-addr to serve the observability
+// endpoint (/metrics in Prometheus text format, /metrics.json, and
+// net/http/pprof under /debug/pprof/) on a side listener while the
+// command runs, and print a one-line metrics summary on completion.
 package main
 
 import (
@@ -35,8 +40,10 @@ import (
 	"alchemist/internal/advisor"
 	"alchemist/internal/bench"
 	"alchemist/internal/ir"
+	"alchemist/internal/obs"
 	"alchemist/internal/progs"
 	"alchemist/internal/report"
+	"alchemist/internal/vm"
 )
 
 func main() {
@@ -101,6 +108,35 @@ func newCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), timeout)
 	}
 	return context.WithCancel(context.Background())
+}
+
+// startMetrics serves the registry's /metrics, /metrics.json, and
+// /debug/pprof endpoints on a side listener when addr is non-empty
+// (":0" picks a free port). The returned stop function closes the
+// listener; it is a no-op when no address was given.
+func startMetrics(addr string, reg *obs.Registry) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.StartServer(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving /metrics /metrics.json /debug/pprof on %s\n", srv.URL())
+	return func() { srv.Close() }, nil
+}
+
+// metricsSummary renders the one-line completion summary from the
+// registry's headline counters.
+func metricsSummary(reg *obs.Registry) string {
+	s := reg.Snapshot()
+	c := func(name string) int64 { return s.Counters[name] }
+	return fmt.Sprintf(
+		"metrics: vm_runs=%d vm_steps=%d cache_hits=%d cache_misses=%d compiles=%d jobs=%d job_errors=%d",
+		c("alchemist_vm_runs_total"), c("alchemist_vm_steps_total"),
+		c("alchemist_engine_cache_hits_total"), c("alchemist_engine_cache_misses_total"),
+		c("alchemist_engine_compiles_total"),
+		c("alchemist_engine_jobs_total"), c("alchemist_engine_job_errors_total"))
 }
 
 // sourceFlags resolves -w / -f / -scale into a program + input.
@@ -231,11 +267,12 @@ func parseTypes(s string) ([]alchemist.DepType, error) {
 	return out, nil
 }
 
-// profileMerged compiles the source through an Engine and profiles every
-// job concurrently, returning the union profile.
-func profileMerged(ctx context.Context, name, src string, jobs []alchemist.ProfileJob, memWords int64, workers int) (*alchemist.Profile, error) {
+// profileMerged compiles the source through an Engine instrumented into
+// reg and profiles every job concurrently, returning the union profile.
+func profileMerged(ctx context.Context, reg *obs.Registry, name, src string, jobs []alchemist.ProfileJob, memWords int64, workers int) (*alchemist.Profile, error) {
 	eng := alchemist.NewEngine(
 		alchemist.WithWorkers(workers),
+		alchemist.WithRegistry(reg),
 		alchemist.WithDefaultProfileConfig(alchemist.ProfileConfig{
 			RunConfig: alchemist.RunConfig{MemWords: memWords},
 		}),
@@ -261,6 +298,7 @@ func cmdProfile(args []string) error {
 	jobs := fs.Int("jobs", 1, "concurrent profiling jobs")
 	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the profile as JSON")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (\":0\" picks a port)")
 	fs.Parse(args)
 
 	name, src, pjobs, memWords, err := sf.loadJobs(*inputCSV, *scalesCSV)
@@ -271,12 +309,19 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := newCtx(*timeout)
-	defer cancel()
-	prof, err := profileMerged(ctx, name, src, pjobs, memWords, *jobs)
+	reg := obs.NewRegistry()
+	stopMetrics, err := startMetrics(*metricsAddr, reg)
 	if err != nil {
 		return err
 	}
+	defer stopMetrics()
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	prof, err := profileMerged(ctx, reg, name, src, pjobs, memWords, *jobs)
+	if err != nil {
+		return err
+	}
+	defer fmt.Fprintln(os.Stderr, metricsSummary(reg))
 	if *jsonOut {
 		return report.WriteJSON(os.Stdout, prof)
 	}
@@ -303,7 +348,7 @@ func cmdAdvise(args []string) error {
 	}
 	ctx, cancel := newCtx(*timeout)
 	defer cancel()
-	prof, err := profileMerged(ctx, name, src, pjobs, memWords, *jobs)
+	prof, err := profileMerged(ctx, obs.NewRegistry(), name, src, pjobs, memWords, *jobs)
 	if err != nil {
 		return err
 	}
@@ -374,13 +419,21 @@ func cmdTable5(args []string) error {
 	runs := fs.Int("runs", 3, "timed runs per configuration (best kept)")
 	jobs := fs.Int("jobs", 1, "concurrent workload benchmarks (>1 skews wall-clock columns only)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (\":0\" picks a port)")
 	fs.Parse(args)
-	ctx, cancel := newCtx(*timeout)
-	defer cancel()
-	rows, err := bench.Table5Ctx(ctx, bench.Scale{Small: *small}, *runs, *jobs)
+	reg := obs.NewRegistry()
+	stopMetrics, err := startMetrics(*metricsAddr, reg)
 	if err != nil {
 		return err
 	}
+	defer stopMetrics()
+	ctx, cancel := newCtx(*timeout)
+	defer cancel()
+	rows, err := bench.Table5Ctx(ctx, bench.Scale{Small: *small, Metrics: vm.NewMetrics(reg)}, *runs, *jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, metricsSummary(reg))
 	report.WriteTable5(os.Stdout, rows)
 	return nil
 }

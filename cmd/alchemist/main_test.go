@@ -84,6 +84,26 @@ func TestCLIProfileFile(t *testing.T) {
 	}
 }
 
+func TestCLIProfileMetricsAddr(t *testing.T) {
+	out := run(t, "profile", "-w", "aes", "-scale", "1024", "-top", "3", "-metrics-addr", "127.0.0.1:0")
+	if !strings.Contains(out, "metrics: serving /metrics /metrics.json /debug/pprof on http://127.0.0.1:") {
+		t.Errorf("missing serving line:\n%s", out)
+	}
+	sum := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "metrics: vm_runs=") {
+			sum = line
+		}
+	}
+	if sum == "" {
+		t.Fatalf("missing metrics summary line:\n%s", out)
+	}
+	if !strings.Contains(sum, "vm_runs=1") || strings.Contains(sum, "vm_steps=0") ||
+		!strings.Contains(sum, "cache_misses=1") || !strings.Contains(sum, "compiles=1") {
+		t.Errorf("summary line = %q, want vm_runs=1, nonzero vm_steps, cache_misses=1, compiles=1", sum)
+	}
+}
+
 func TestCLIAdvise(t *testing.T) {
 	out := run(t, "advise", "-w", "aes", "-scale", "1024", "-top", "4")
 	if !strings.Contains(out, "future candidate") && !strings.Contains(out, "NOT parallelizable") {

@@ -7,11 +7,25 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"alchemist/internal/core"
+	"alchemist/internal/obs"
+	"alchemist/internal/vm"
 )
 
 // DefaultCacheSize is the compiled-program cache capacity of an Engine
 // built without WithCacheSize.
 const DefaultCacheSize = 64
+
+// DefaultProgramCost is the program footprint — instruction count plus
+// constant count (string pool and global initializers) — charged as one
+// cache cost unit. WithCacheSize(n) budgets n units, so n typical
+// programs (well under DefaultProgramCost footprint each, costing one
+// unit apiece) fit exactly as under the old entry-count semantics, while
+// a program k times the default footprint charges k units and displaces
+// proportionally more of the cache.
+const DefaultProgramCost = 4096
 
 // CompileOptions selects compilation behaviour and is part of the
 // program-cache key: the same source compiled with different options
@@ -32,8 +46,11 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
-// WithCacheSize sets the compiled-program cache capacity in entries.
-// 0 keeps DefaultCacheSize; negative disables caching entirely.
+// WithCacheSize sets the compiled-program cache budget in units of
+// DefaultProgramCost footprint — for typical programs, the entry count.
+// 0 keeps DefaultCacheSize; negative disables caching entirely. A
+// single program larger than the whole budget is still cached (alone)
+// rather than thrashing.
 func WithCacheSize(n int) Option {
 	return func(e *Engine) { e.cacheCap = n }
 }
@@ -50,15 +67,29 @@ func WithCompileOptions(co CompileOptions) Option {
 	return func(e *Engine) { e.defCompile = co }
 }
 
+// WithRegistry installs the metrics registry the Engine instruments
+// itself into, letting several engines (or other subsystems) share one
+// registry behind a single /metrics endpoint. Without it each Engine
+// creates its own private registry, available via Metrics().
+func WithRegistry(r *obs.Registry) Option {
+	return func(e *Engine) { e.reg = r }
+}
+
 // CacheStats reports compiled-program cache behaviour.
 type CacheStats struct {
 	// Hits and Misses count Compile/CompileWith lookups.
 	Hits   int64
 	Misses int64
-	// Evictions counts entries dropped to stay within capacity.
+	// Coalesced counts misses that waited on a concurrent compile of the
+	// same key instead of compiling redundantly (singleflight).
+	Coalesced int64
+	// Evictions counts entries dropped to stay within the cost budget.
 	Evictions int64
 	// Entries is the current cache population.
 	Entries int
+	// Cost is the cached programs' total footprint in DefaultProgramCost
+	// units; eviction keeps it within the WithCacheSize budget.
+	Cost int64
 }
 
 // Engine is the long-lived service entry point: it owns a compiled-
@@ -66,6 +97,12 @@ type CacheStats struct {
 // profiling. An Engine is safe for concurrent use by multiple
 // goroutines; the zero value is not usable — construct one with
 // NewEngine.
+//
+// Every engine instruments itself into an obs.Registry (its own, or one
+// shared via WithRegistry): cache traffic, compiles, worker-pool queue
+// depth and in-flight jobs, per-job wall time, VM dispatch-loop
+// counters, and profiler shadow/pool activity. Metrics() exposes the
+// registry; obs.StartServer serves it over HTTP.
 //
 // The free functions of this package (Compile, Program.Profile, ...)
 // remain as deprecated wrappers over a package-default Engine.
@@ -75,14 +112,96 @@ type Engine struct {
 	defProfile ProfileConfig
 	defCompile CompileOptions
 
+	reg *obs.Registry
+	em  *engineMetrics
+	vmm *vm.Metrics
+
 	// sem bounds concurrent batch profiling runs across all
 	// ProfileBatch/ProfileEach calls on this Engine.
 	sem chan struct{}
 
-	mu    sync.Mutex
-	cache map[programKey]*list.Element
-	order *list.List // front = most recently used
-	stats CacheStats
+	// scratch recycles per-worker profiling buffers (shadow memory,
+	// construct pool) across batch jobs.
+	scratch sync.Pool
+
+	mu     sync.Mutex
+	cache  map[programKey]*list.Element
+	order  *list.List // front = most recently used
+	flight map[programKey]*compileFlight
+	cost   int64 // total cached cost, DefaultProgramCost units
+	stats  CacheStats
+}
+
+// engineMetrics is the Engine's pre-resolved instrument set.
+type engineMetrics struct {
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	coalesced      *obs.Counter
+	compiles       *obs.Counter
+	compileErrors  *obs.Counter
+	cacheEntries   *obs.Gauge
+	cacheCost      *obs.Gauge
+
+	queueDepth   *obs.Gauge
+	inflightJobs *obs.Gauge
+	jobs         *obs.Counter
+	jobErrors    *obs.Counter
+	jobWall      *obs.Histogram
+
+	scratchGets *obs.Counter
+	scratchPuts *obs.Counter
+	scratchNews *obs.Counter
+
+	shadowLoads   *obs.Counter
+	shadowStores  *obs.Counter
+	poolReused    *obs.Counter
+	poolAllocated *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		cacheHits: r.Counter("alchemist_engine_cache_hits_total",
+			"Compiled-program cache lookups served from the cache."),
+		cacheMisses: r.Counter("alchemist_engine_cache_misses_total",
+			"Compiled-program cache lookups that had to compile or wait."),
+		cacheEvictions: r.Counter("alchemist_engine_cache_evictions_total",
+			"Cache entries dropped to stay within the cost budget."),
+		coalesced: r.Counter("alchemist_engine_singleflight_coalesced_total",
+			"Cache misses that waited on an in-flight compile of the same key."),
+		compiles: r.Counter("alchemist_engine_compiles_total",
+			"Full lexer/parser/sema/compile pipeline runs."),
+		compileErrors: r.Counter("alchemist_engine_compile_errors_total",
+			"Compile pipeline runs that failed."),
+		cacheEntries: r.Gauge("alchemist_engine_cache_entries",
+			"Current compiled-program cache population."),
+		cacheCost: r.Gauge("alchemist_engine_cache_cost_units",
+			"Current cache footprint in DefaultProgramCost units."),
+		queueDepth: r.Gauge("alchemist_engine_queue_depth",
+			"Batch jobs waiting for a worker slot."),
+		inflightJobs: r.Gauge("alchemist_engine_inflight_jobs",
+			"Batch jobs currently executing."),
+		jobs: r.Counter("alchemist_engine_jobs_total",
+			"Batch profiling jobs completed, including failed ones."),
+		jobErrors: r.Counter("alchemist_engine_job_errors_total",
+			"Batch profiling jobs that failed (including cancellations)."),
+		jobWall: r.Histogram("alchemist_engine_job_wall_seconds",
+			"Wall-clock time of one batch profiling job.", nil),
+		scratchGets: r.Counter("alchemist_engine_scratch_gets_total",
+			"Profiling scratch buffers checked out of the worker pool."),
+		scratchPuts: r.Counter("alchemist_engine_scratch_puts_total",
+			"Profiling scratch buffers returned to the worker pool."),
+		scratchNews: r.Counter("alchemist_engine_scratch_news_total",
+			"Profiling scratch buffers newly allocated by the pool."),
+		shadowLoads: r.Counter("alchemist_profile_shadow_loads_total",
+			"Shadow-memory read records across profiled runs."),
+		shadowStores: r.Counter("alchemist_profile_shadow_stores_total",
+			"Shadow-memory write records across profiled runs."),
+		poolReused: r.Counter("alchemist_profile_pool_reused_total",
+			"Construct-pool acquisitions served by recycling a retired node."),
+		poolAllocated: r.Counter("alchemist_profile_pool_allocated_total",
+			"Construct-pool nodes allocated fresh."),
+	}
 }
 
 // programKey identifies one cache entry: the source identity plus every
@@ -96,6 +215,15 @@ type programKey struct {
 type programEntry struct {
 	key  programKey
 	prog *Program
+	cost int64
+}
+
+// compileFlight is one in-flight compile that concurrent misses of the
+// same key wait on instead of compiling redundantly.
+type compileFlight struct {
+	done chan struct{}
+	prog *Program
+	err  error
 }
 
 // NewEngine builds an Engine. With no options it caches up to
@@ -112,10 +240,20 @@ func NewEngine(opts ...Option) *Engine {
 	if e.cacheCap == 0 {
 		e.cacheCap = DefaultCacheSize
 	}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.em = newEngineMetrics(e.reg)
+	e.vmm = vm.NewMetrics(e.reg)
+	e.scratch.New = func() any {
+		e.em.scratchNews.Inc()
+		return &core.Scratch{}
+	}
 	e.sem = make(chan struct{}, e.workers)
 	if e.cacheCap > 0 {
 		e.cache = make(map[programKey]*list.Element)
 		e.order = list.New()
+		e.flight = make(map[programKey]*compileFlight)
 	}
 	return e
 }
@@ -123,11 +261,28 @@ func NewEngine(opts ...Option) *Engine {
 // Workers reports the batch-profiling concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Metrics returns the registry this Engine instruments itself into —
+// the one installed with WithRegistry, or the Engine's private one.
+// Serve it with obs.StartServer or render it with WritePrometheus /
+// WriteJSON.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
 // CacheStats returns a snapshot of the compiled-program cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// programCost charges a compiled program's footprint (instructions plus
+// constants) in DefaultProgramCost units, minimum one.
+func programCost(p *Program) int64 {
+	foot := int64(p.ir.NumPCs) + int64(len(p.ir.Strings)) + int64(len(p.ir.GlobalInit))
+	units := (foot + DefaultProgramCost - 1) / DefaultProgramCost
+	if units < 1 {
+		units = 1
+	}
+	return units
 }
 
 // Compile returns the compiled program for (name, src), reusing the
@@ -139,13 +294,19 @@ func (e *Engine) Compile(ctx context.Context, name, src string) (*Program, error
 	return e.CompileWith(ctx, name, src, e.defCompile)
 }
 
-// CompileWith is Compile with explicit per-call options.
+// CompileWith is Compile with explicit per-call options. Concurrent
+// misses of the same (source, options) key are singleflighted: one call
+// compiles while the others wait for its result, so a thundering herd
+// on a cold source costs one pipeline run, not one per caller.
 func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOptions) (*Program, error) {
-	if err := ctxErr(ctx); err != nil {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if e.cache == nil { // caching disabled
-		return compileProgram(name, src, co)
+		return e.compileCounted(name, src, co)
 	}
 	key := programKey{name: name, srcHash: sha256.Sum256([]byte(src)), optimize: co.Optimize}
 
@@ -153,41 +314,84 @@ func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOp
 	if el, ok := e.cache[key]; ok {
 		e.order.MoveToFront(el)
 		e.stats.Hits++
+		e.em.cacheHits.Inc()
 		prog := el.Value.(*programEntry).prog
 		e.mu.Unlock()
 		return prog, nil
 	}
 	e.stats.Misses++
+	e.em.cacheMisses.Inc()
+	if fl, ok := e.flight[key]; ok {
+		// Coalesce onto the in-flight compile of the same key.
+		e.stats.Coalesced++
+		e.em.coalesced.Inc()
+		e.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.prog, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &compileFlight{done: make(chan struct{})}
+	e.flight[key] = fl
 	e.mu.Unlock()
 
 	// Compile outside the lock: a slow compile must not stall cache hits
-	// on other sources. Two racing compiles of the same source both
-	// succeed; the first to insert wins and the other adopts it.
-	prog, err := compileProgram(name, src, co)
-	if err != nil {
-		return nil, err
-	}
+	// on other sources. Waiters for this key block on fl.done instead.
+	prog, err := e.compileCounted(name, src, co)
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if el, ok := e.cache[key]; ok {
-		e.order.MoveToFront(el)
-		return el.Value.(*programEntry).prog, nil
+	fl.prog, fl.err = prog, err
+	delete(e.flight, key)
+	if err == nil {
+		e.insertLocked(key, prog)
 	}
-	el := e.order.PushFront(&programEntry{key: key, prog: prog})
+	e.mu.Unlock()
+	close(fl.done)
+	return prog, err
+}
+
+// compileCounted runs the compile pipeline under the pipeline counters.
+func (e *Engine) compileCounted(name, src string, co CompileOptions) (*Program, error) {
+	e.em.compiles.Inc()
+	prog, err := compileProgram(name, src, co)
+	if err != nil {
+		e.em.compileErrors.Inc()
+	}
+	return prog, err
+}
+
+// insertLocked caches prog under key and evicts from the LRU tail until
+// the total cost fits the budget again. The newest entry is never
+// evicted, so one oversized program caches alone instead of thrashing.
+func (e *Engine) insertLocked(key programKey, prog *Program) {
+	if el, ok := e.cache[key]; ok { // lost a benign race; adopt
+		e.order.MoveToFront(el)
+		return
+	}
+	cost := programCost(prog)
+	el := e.order.PushFront(&programEntry{key: key, prog: prog, cost: cost})
 	e.cache[key] = el
-	for e.order.Len() > e.cacheCap {
+	e.cost += cost
+	for e.cost > int64(e.cacheCap) && e.order.Len() > 1 {
 		oldest := e.order.Back()
+		ent := oldest.Value.(*programEntry)
 		e.order.Remove(oldest)
-		delete(e.cache, oldest.Value.(*programEntry).key)
+		delete(e.cache, ent.key)
+		e.cost -= ent.cost
 		e.stats.Evictions++
+		e.em.cacheEvictions.Inc()
 	}
 	e.stats.Entries = e.order.Len()
-	return prog, nil
+	e.stats.Cost = e.cost
+	e.em.cacheEntries.Set(int64(e.order.Len()))
+	e.em.cacheCost.Set(e.cost)
 }
 
 // Run executes p without instrumentation under ctx.
 func (e *Engine) Run(ctx context.Context, p *Program, cfg RunConfig) (*RunResult, error) {
+	cfg.metrics = e.vmm
 	return p.RunCtx(ctx, cfg)
 }
 
@@ -195,7 +399,13 @@ func (e *Engine) Run(ctx context.Context, p *Program, cfg RunConfig) (*RunResult
 // config requesting parallel execution is rejected with
 // ErrProfileNeedsSequential.
 func (e *Engine) Profile(ctx context.Context, p *Program, cfg ProfileConfig) (*Profile, *RunResult, error) {
-	return p.ProfileCtx(ctx, cfg)
+	cfg.metrics = e.vmm
+	sc := e.scratchGet()
+	defer e.scratchPut(sc)
+	cfg.scratch = sc
+	prof, res, err := p.ProfileCtx(ctx, cfg)
+	e.flushProfileStats(prof)
+	return prof, res, err
 }
 
 // ProfileJob is one profiling run within a batch: an input stream plus
@@ -207,6 +417,15 @@ type ProfileJob struct {
 	// When nil the engine default applies. In both cases a non-nil
 	// Input above replaces the config's Input field.
 	Config *ProfileConfig
+	// OnProgress, when set, receives the job's executed instruction
+	// count: every vm.CancelCheckInterval steps — piggybacked on the
+	// dispatch loop's existing cancellation check, so it costs nothing
+	// extra per instruction — and once more with the final total when
+	// the job completes. Reports are monotonically non-decreasing and
+	// delivered from the job's worker goroutine; the callback must be
+	// safe for concurrent use across jobs. It overrides any OnProgress
+	// in the job's config.
+	OnProgress func(steps int64)
 }
 
 // BatchResult is the outcome of one ProfileJob.
@@ -230,7 +449,56 @@ func (e *Engine) profileJobConfig(job ProfileJob) ProfileConfig {
 	if job.Input != nil {
 		cfg.Input = job.Input
 	}
+	if job.OnProgress != nil {
+		cfg.OnProgress = job.OnProgress
+	}
 	return cfg
+}
+
+func (e *Engine) scratchGet() *core.Scratch {
+	e.em.scratchGets.Inc()
+	return e.scratch.Get().(*core.Scratch)
+}
+
+func (e *Engine) scratchPut(sc *core.Scratch) {
+	e.em.scratchPuts.Inc()
+	e.scratch.Put(sc)
+}
+
+// flushProfileStats folds one finished profile's shadow-memory and
+// construct-pool counters into the registry. Nil profiles are ignored.
+func (e *Engine) flushProfileStats(prof *Profile) {
+	if prof == nil {
+		return
+	}
+	e.em.shadowLoads.Add(prof.Shadow.Loads)
+	e.em.shadowStores.Add(prof.Shadow.Stores)
+	e.em.poolReused.Add(prof.Pool.Reused)
+	e.em.poolAllocated.Add(prof.Pool.Allocated)
+}
+
+// runJob executes one batch job on a worker slot: scratch buffers come
+// from the per-worker pool, the VM reports into the engine's registry,
+// and the job's wall time lands in the jobWall histogram.
+func (e *Engine) runJob(ctx context.Context, p *Program, i int, job ProfileJob) BatchResult {
+	cfg := e.profileJobConfig(job)
+	cfg.metrics = e.vmm
+	sc := e.scratchGet()
+	cfg.scratch = sc
+
+	e.em.inflightJobs.Add(1)
+	start := time.Now()
+	prof, res, err := p.ProfileCtx(ctx, cfg)
+	e.em.jobWall.Observe(time.Since(start).Seconds())
+	e.em.inflightJobs.Add(-1)
+
+	e.scratchPut(sc)
+	e.flushProfileStats(prof)
+	e.em.jobs.Inc()
+	if err != nil {
+		e.em.jobErrors.Inc()
+	}
+	return BatchResult{Job: i, Profile: prof, Run: res, Err: err}
 }
 
 // ProfileEach fans the jobs over the engine's worker pool and streams
@@ -248,15 +516,19 @@ func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob)
 	for i := range jobs {
 		go func(i int) {
 			defer wg.Done()
+			e.em.queueDepth.Add(1)
 			select {
 			case e.sem <- struct{}{}:
+				e.em.queueDepth.Add(-1)
 				defer func() { <-e.sem }()
 			case <-ctx.Done():
+				e.em.queueDepth.Add(-1)
+				e.em.jobs.Inc()
+				e.em.jobErrors.Inc()
 				out <- BatchResult{Job: i, Err: ctx.Err()}
 				return
 			}
-			prof, res, err := p.ProfileCtx(ctx, e.profileJobConfig(jobs[i]))
-			out <- BatchResult{Job: i, Profile: prof, Run: res, Err: err}
+			out <- e.runJob(ctx, p, i, jobs[i])
 		}(i)
 	}
 	go func() {
@@ -307,11 +579,4 @@ var (
 func DefaultEngine() *Engine {
 	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
 	return defaultEngine
-}
-
-func ctxErr(ctx context.Context) error {
-	if ctx == nil {
-		return nil
-	}
-	return ctx.Err()
 }

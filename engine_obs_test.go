@@ -1,0 +1,303 @@
+package alchemist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"alchemist"
+	"alchemist/internal/obs"
+)
+
+// counter reads a registry counter by name without creating noise: the
+// engine registered all of its metrics at construction, so the lookup
+// always finds an existing instrument.
+func counter(r *obs.Registry, name string) int64 {
+	return r.Counter(name, "").Value()
+}
+
+// TestEngineSingleflight: a thundering herd on one cold source costs one
+// compile; everyone else hits the cache or coalesces onto the in-flight
+// compile. The invariant compiles + hits + coalesced == lookups holds
+// regardless of scheduling.
+func TestEngineSingleflight(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
+	const n = 16
+
+	start := make(chan struct{})
+	progs := make([]*alchemist.Program, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			p, err := eng.Compile(ctx, "herd.mc", `int main() { return 42; }`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("compile %d returned a different program", i)
+		}
+	}
+	st := eng.CacheStats()
+	compiles := counter(eng.Metrics(), "alchemist_engine_compiles_total")
+	if st.Hits+st.Misses != n {
+		t.Errorf("hits(%d) + misses(%d) != %d lookups", st.Hits, st.Misses, n)
+	}
+	if compiles+st.Hits+st.Coalesced != n {
+		t.Errorf("compiles(%d) + hits(%d) + coalesced(%d) != %d lookups",
+			compiles, st.Hits, st.Coalesced, n)
+	}
+	if compiles != 1 {
+		t.Errorf("compiles = %d, want exactly 1 for a singleflighted herd", compiles)
+	}
+	if got := counter(eng.Metrics(), "alchemist_engine_singleflight_coalesced_total"); got != st.Coalesced {
+		t.Errorf("coalesced metric = %d, CacheStats.Coalesced = %d", got, st.Coalesced)
+	}
+}
+
+// bigSrc synthesizes a program whose compiled footprint exceeds
+// DefaultProgramCost instructions, so it charges more than one cache
+// cost unit.
+func bigSrc() string {
+	var sb strings.Builder
+	sb.WriteString("int main() {\n  int s = 0;\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "  s = s * 3 + %d;\n", i)
+	}
+	sb.WriteString("  out(s);\n  return 0;\n}\n")
+	return sb.String()
+}
+
+// TestEngineCostEviction: cache pressure is charged by program footprint,
+// not entry count — one big program displaces proportionally more.
+func TestEngineCostEviction(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithCacheSize(2))
+
+	if _, err := eng.Compile(ctx, "big.mc", bigSrc()); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Cost < 2 {
+		t.Fatalf("big program cost = %d units, want >= 2 (footprint too small to exercise the cost model)", st.Cost)
+	}
+	if st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats after big insert = %+v, want Entries=1 Evictions=0", st)
+	}
+
+	// A one-unit program pushes the total over budget; the big program is
+	// the LRU entry and goes first.
+	if _, err := eng.Compile(ctx, "small.mc", `int main() { return 1; }`); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.CacheStats()
+	if st.Evictions != 1 || st.Entries != 1 || st.Cost != 1 {
+		t.Errorf("stats after small insert = %+v, want Evictions=1 Entries=1 Cost=1", st)
+	}
+}
+
+// TestEngineOversizedProgramCachesAlone: a program larger than the whole
+// budget still caches (alone) instead of thrashing on every lookup.
+func TestEngineOversizedProgramCachesAlone(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithCacheSize(1))
+
+	p1, err := eng.Compile(ctx, "big.mc", bigSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Entries != 1 || st.Evictions != 0 || st.Cost < 2 {
+		t.Fatalf("stats = %+v, want the oversized program cached alone", st)
+	}
+	p2, err := eng.Compile(ctx, "big.mc", bigSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("oversized program was not served from the cache")
+	}
+}
+
+// TestEngineMetricsEndpoint is the acceptance golden: after one
+// engine-driven profile, /metrics serves nonzero VM step and cache
+// counters in the Prometheus text format.
+func TestEngineMetricsEndpoint(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine()
+	prog, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Profile(ctx, prog, alchemist.ProfileConfig{
+		RunConfig: alchemist.RunConfig{Input: []int64{1, 2, 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.Handler(eng.Metrics()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	metric := func(name string) int64 {
+		t.Helper()
+		m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("metric %s missing from /metrics:\n%s", name, body)
+		}
+		v, _ := strconv.ParseInt(m[1], 10, 64)
+		return v
+	}
+	if steps := metric("alchemist_vm_steps_total"); steps <= 0 {
+		t.Errorf("alchemist_vm_steps_total = %d, want > 0", steps)
+	}
+	if runs := metric("alchemist_vm_runs_total"); runs != 1 {
+		t.Errorf("alchemist_vm_runs_total = %d, want 1", runs)
+	}
+	if misses := metric("alchemist_engine_cache_misses_total"); misses != 1 {
+		t.Errorf("alchemist_engine_cache_misses_total = %d, want 1", misses)
+	}
+	metric("alchemist_engine_cache_hits_total") // present, zero is fine
+	if loads := metric("alchemist_profile_shadow_loads_total"); loads <= 0 {
+		t.Errorf("alchemist_profile_shadow_loads_total = %d, want > 0", loads)
+	}
+}
+
+// TestEngineScratchAccounting: every batch job checks one scratch buffer
+// out and back in; the sync.Pool allocates at most one per concurrent
+// worker.
+func TestEngineScratchAccounting(t *testing.T) {
+	ctx := context.Background()
+	const workers, jobCount = 2, 6
+	eng := alchemist.NewEngine(alchemist.WithWorkers(workers))
+	prog, err := eng.Compile(ctx, "batch.mc", batchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]alchemist.ProfileJob, jobCount)
+	for i := range jobs {
+		jobs[i] = alchemist.ProfileJob{Input: []int64{int64(i), int64(i * 2)}}
+	}
+	if _, _, err := eng.ProfileBatch(ctx, prog, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := eng.Metrics()
+	gets := counter(reg, "alchemist_engine_scratch_gets_total")
+	puts := counter(reg, "alchemist_engine_scratch_puts_total")
+	news := counter(reg, "alchemist_engine_scratch_news_total")
+	if gets != jobCount || puts != jobCount {
+		t.Errorf("scratch gets = %d puts = %d, want both %d", gets, puts, jobCount)
+	}
+	if news < 1 || news > jobCount {
+		t.Errorf("scratch news = %d, want within [1, %d]", news, jobCount)
+	}
+	if got := counter(reg, "alchemist_engine_jobs_total"); got != jobCount {
+		t.Errorf("jobs = %d, want %d", got, jobCount)
+	}
+	if got := counter(reg, "alchemist_profile_pool_allocated_total"); got <= 0 {
+		t.Errorf("pool allocated = %d, want > 0", got)
+	}
+}
+
+// TestProfileJobOnProgress: per-job progress reports are monotonic and
+// end with the job's exact final step count.
+func TestProfileJobOnProgress(t *testing.T) {
+	ctx := context.Background()
+	eng := alchemist.NewEngine(alchemist.WithWorkers(2))
+	// Long enough that every job crosses several check windows.
+	src := `int main() { int s = 0; for (int i = 0; i < 30000; i++) { s += in(i % inlen()); } out(s); return 0; }`
+	prog, err := eng.Compile(ctx, "prog.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobCount = 3
+	var mu sync.Mutex
+	reports := make([][]int64, jobCount)
+	jobs := make([]alchemist.ProfileJob, jobCount)
+	for i := range jobs {
+		i := i
+		jobs[i] = alchemist.ProfileJob{
+			Input: []int64{int64(i), 5, 9},
+			OnProgress: func(steps int64) {
+				mu.Lock()
+				reports[i] = append(reports[i], steps)
+				mu.Unlock()
+			},
+		}
+	}
+	_, results, err := eng.ProfileBatch(ctx, prog, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if len(reports[i]) < 2 {
+			t.Fatalf("job %d delivered %d reports, want >= 2", i, len(reports[i]))
+		}
+		for k := 1; k < len(reports[i]); k++ {
+			if reports[i][k] < reports[i][k-1] {
+				t.Errorf("job %d reports not monotonic: %v", i, reports[i])
+				break
+			}
+		}
+		if last := reports[i][len(reports[i])-1]; last != r.Run.Steps {
+			t.Errorf("job %d final report = %d, want Run.Steps = %d", i, last, r.Run.Steps)
+		}
+	}
+}
+
+// TestProfileJobOnProgressCancel: cancelling mid-batch aborts the
+// running job and fails queued jobs with context.Canceled.
+func TestProfileJobOnProgressCancel(t *testing.T) {
+	eng := alchemist.NewEngine(alchemist.WithWorkers(1))
+	src := `int main() { int s = 0; for (int i = 0; i < 100000000; i++) { s += i; } out(s); return 0; }`
+	prog, err := eng.Compile(context.Background(), "long.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Jobs start in arbitrary order, so every job cancels on its first
+	// progress report: whichever runs first aborts itself mid-run, and
+	// the queued jobs fail without starting.
+	onFirst := func(int64) { cancel() }
+	jobs := []alchemist.ProfileJob{
+		{OnProgress: onFirst}, {OnProgress: onFirst}, {OnProgress: onFirst},
+	}
+	merged, results, err := eng.ProfileBatch(ctx, prog, jobs)
+	if merged != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch = (%v, %v), want context.Canceled", merged, err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}

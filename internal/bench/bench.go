@@ -23,10 +23,15 @@ import (
 
 // Scale selects input sizes: 0 uses each workload's default (the paper
 // configuration); otherwise the workload-specific small scale times the
-// factor.
+// factor. It doubles as the harness run configuration: an optional
+// Metrics sink is threaded into every VM run the harness performs.
 type Scale struct {
 	// Small uses each workload's SmallScale input (fast CI runs).
 	Small bool
+	// Metrics, when non-nil, receives the dispatch-loop counters of
+	// every VM run (native, profiled, and simulated), flushed once per
+	// run; resolve it from a registry with vm.NewMetrics.
+	Metrics *vm.Metrics
 }
 
 func inputFor(w *progs.Workload, sc Scale) []int64 {
@@ -44,7 +49,7 @@ func RunNative(w *progs.Workload, sc Scale) (*vm.Result, time.Duration, error) {
 		return nil, 0, err
 	}
 	start := time.Now()
-	res, err := core.RunProgram(prog, vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords})
+	res, err := core.RunProgram(prog, vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics})
 	return res, time.Since(start), err
 }
 
@@ -53,14 +58,14 @@ func RunNative(w *progs.Workload, sc Scale) (*vm.Result, time.Duration, error) {
 func RunProfiled(w *progs.Workload, sc Scale) (*core.Profile, time.Duration, error) {
 	start := time.Now()
 	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source,
-		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords}, core.DefaultOptions())
+		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics}, core.DefaultOptions())
 	return prof, time.Since(start), err
 }
 
 // Profile profiles the workload with explicit options (ablations).
 func Profile(w *progs.Workload, sc Scale, opts core.Options) (*core.Profile, error) {
 	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source,
-		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords}, opts)
+		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics}, opts)
 	return prof, err
 }
 
@@ -285,7 +290,7 @@ func Table5BenchCtx(ctx context.Context, w *progs.Workload, sc Scale, runs int) 
 			if err != nil {
 				return nil, 0, err
 			}
-			m, err := vm.New(p, vm.Config{Input: input, MemWords: w.MemWords, SimWorkers: workers})
+			m, err := vm.New(p, vm.Config{Input: input, MemWords: w.MemWords, SimWorkers: workers, Metrics: sc.Metrics})
 			if err != nil {
 				return nil, 0, err
 			}

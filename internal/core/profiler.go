@@ -38,6 +38,10 @@ type Options struct {
 	// MemWords must match the VM's flat memory size; the Profiler
 	// constructor fills it in.
 	MemWords int64
+	// Scratch, when non-nil, recycles the shadow memory and construct
+	// pool retained in it across runs (Engine batch path). The Scratch
+	// must not be shared by concurrent profilers.
+	Scratch *Scratch
 }
 
 // DefaultOptions enables the full profile.
@@ -78,7 +82,15 @@ func NewProfiler(prog *ir.Program, memWords int64, opts Options) *Profiler {
 	if prealloc == 0 {
 		prealloc = 1 << 16
 	}
-	pool := indexing.NewPool(prealloc)
+	var pool *indexing.Pool
+	var mem *shadow.Memory
+	if opts.Scratch != nil {
+		pool, mem = opts.Scratch.acquire(memWords, opts.ReaderSlots, prealloc)
+	} else {
+		pool = indexing.NewPool(prealloc)
+		mem = shadow.New(memWords, opts.ReaderSlots)
+	}
+	pool.MaxProbe = 32
 	if opts.PoolProbe > 0 {
 		pool.MaxProbe = opts.PoolProbe
 	}
@@ -87,7 +99,7 @@ func NewProfiler(prog *ir.Program, memWords int64, opts Options) *Profiler {
 		prog:     prog,
 		opts:     opts,
 		pool:     pool,
-		shadow:   shadow.New(memWords, opts.ReaderSlots),
+		shadow:   mem,
 		profiles: make(map[int]*constructProfile),
 		nest:     make(map[uint64]int64),
 	}

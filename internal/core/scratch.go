@@ -1,0 +1,42 @@
+package core
+
+import (
+	"alchemist/internal/indexing"
+	"alchemist/internal/shadow"
+)
+
+// Scratch holds the per-run profiling buffers that dominate allocation
+// churn — the shadow memory and the construct pool — so back-to-back
+// profiling runs (the Engine batch path) can recycle them instead of
+// reallocating tens of megabytes per job. A Scratch may be used by at
+// most one profiler at a time; pool them (sync.Pool) for concurrency.
+// The zero value is ready: buffers are created on first use and replaced
+// whenever a run's geometry (memory extent, reader slots) is
+// incompatible with the retained ones.
+type Scratch struct {
+	shadow *shadow.Memory
+	pool   *indexing.Pool
+}
+
+// acquire returns reset-or-fresh buffers for a run over memWords of flat
+// memory with the given reader-slot bound, retaining them in the Scratch
+// for the next acquire. prealloc only applies when a fresh construct
+// pool must be built; a retained pool keeps its node population (reuse
+// is accounted like a warm preallocation by Pool.Reset).
+func (s *Scratch) acquire(memWords int64, readerSlots, prealloc int) (*indexing.Pool, *shadow.Memory) {
+	wantSlots := readerSlots
+	if wantSlots <= 0 {
+		wantSlots = shadow.DefaultReaderSlots
+	}
+	if s.shadow != nil && s.shadow.Words() >= memWords && s.shadow.Slots() == wantSlots {
+		s.shadow.Reset()
+	} else {
+		s.shadow = shadow.New(memWords, readerSlots)
+	}
+	if s.pool != nil {
+		s.pool.Reset()
+	} else {
+		s.pool = indexing.NewPool(prealloc)
+	}
+	return s.pool, s.shadow
+}

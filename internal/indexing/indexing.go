@@ -125,6 +125,20 @@ func NewPool(prealloc int) *Pool {
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() PoolStats { return p.stats }
 
+// Reset prepares the pool for a fresh run whose clock restarts at zero:
+// every pooled node's window is cleared (making it immediately
+// retirable, like a preallocated node) and the counters restart with
+// Allocated equal to the retained node count — reuse across runs is
+// accounted exactly like a warm preallocation, so per-run Reused/
+// Rotations stats keep their Theorem 1 meaning.
+func (p *Pool) Reset() {
+	for i := 0; i < p.count; i++ {
+		c := p.free[(p.head+i)%len(p.free)]
+		c.Label, c.Kind, c.Tenter, c.Texit, c.Parent, c.PopPC = 0, 0, 0, 0, nil, 0
+	}
+	p.stats = PoolStats{Allocated: int64(p.count)}
+}
+
 // Live returns the number of nodes currently sitting in the pool.
 func (p *Pool) Live() int { return p.count }
 

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability endpoint for a registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  indented JSON registry snapshot
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// It is mounted on its own mux so it can be served from a side listener
+// without exposing the handlers on http.DefaultServeMux.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a metrics side listener started with StartServer.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer serves Handler(r) on addr (":0" picks a free port) in a
+// background goroutine and returns immediately. Close the server to stop
+// serving and release the port.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(r)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port for ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// URL returns the base http:// URL of the server.
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops the listener; in-flight requests are abandoned.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c_total", "other help") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments should read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	hs := r.Snapshot().Histograms["h"]
+	wantCum := []int64{2, 3, 4, 5} // le=1, le=10, le=100, le=+Inf
+	if len(hs.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(hs.Buckets), len(wantCum))
+	}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(hs.Buckets[3].UpperBound, +1) {
+		t.Error("last bucket should be +Inf")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge lookup of a counter name should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with space", "dash-ed", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestRegistryConcurrency hammers registration, updates, and snapshots
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared_total", "").Inc()
+				r.Gauge("depth", "").Add(1)
+				r.Gauge("depth", "").Add(-1)
+				r.Histogram("lat", "", []float64{0.1, 1}).Observe(0.5)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = r.Snapshot()
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 8000 {
+		t.Errorf("shared_total = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth", "").Value(); got != 0 {
+		t.Errorf("depth = %d, want 0", got)
+	}
+	if got := r.Histogram("lat", "", nil).Count(); got != 8000 {
+		t.Errorf("lat count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alchemist_vm_steps_total", "Executed VM instructions.").Add(1234)
+	r.Gauge("alchemist_engine_queue_depth", "Jobs waiting.").Set(3)
+	r.Histogram("alchemist_engine_job_wall_seconds", "Job wall time.", []float64{0.1, 1}).Observe(0.05)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alchemist_engine_job_wall_seconds Job wall time.
+# TYPE alchemist_engine_job_wall_seconds histogram
+alchemist_engine_job_wall_seconds_bucket{le="0.1"} 1
+alchemist_engine_job_wall_seconds_bucket{le="1"} 1
+alchemist_engine_job_wall_seconds_bucket{le="+Inf"} 1
+alchemist_engine_job_wall_seconds_sum 0.05
+alchemist_engine_job_wall_seconds_count 1
+# HELP alchemist_engine_queue_depth Jobs waiting.
+# TYPE alchemist_engine_queue_depth gauge
+alchemist_engine_queue_depth 3
+# HELP alchemist_vm_steps_total Executed VM instructions.
+# TYPE alchemist_vm_steps_total counter
+alchemist_vm_steps_total 1234
+`
+	if sb.String() != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Add(7)
+	r.Gauge("depth", "").Set(2)
+	r.Histogram("lat", "", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if snap.Counters["hits_total"] != 7 || snap.Gauges["depth"] != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if h := snap.Histograms["lat"]; h.Count != 1 || h.Sum != 0.5 {
+		t.Errorf("histogram snapshot = %+v", h)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var p Progress
+	p.Update(1, 100)
+	p.Update(0, 50)
+	p.Update(1, 200)
+	p.Update(1, 150) // stale: ignored
+	p.MarkDone(0)
+	got := p.Snapshot()
+	if len(got) != 2 || got[0].Job != 0 || got[1].Job != 1 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if got[0].Steps != 50 || !got[0].Done {
+		t.Errorf("job 0 = %+v, want steps=50 done", got[0])
+	}
+	if got[1].Steps != 200 || got[1].Done {
+		t.Errorf("job 1 = %+v, want steps=200 not done", got[1])
+	}
+	if p.TotalSteps() != 250 {
+		t.Errorf("total = %d, want 250", p.TotalSteps())
+	}
+	if p.Updates() != 4 {
+		t.Errorf("updates = %d, want 4", p.Updates())
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	var p Progress
+	var wg sync.WaitGroup
+	for job := 0; job < 4; job++ {
+		wg.Add(1)
+		go func(job int) {
+			defer wg.Done()
+			for s := int64(1); s <= 500; s++ {
+				p.Update(job, s)
+			}
+			p.MarkDone(job)
+		}(job)
+	}
+	wg.Wait()
+	for _, jp := range p.Snapshot() {
+		if jp.Steps != 500 || !jp.Done {
+			t.Errorf("job %d = %+v, want steps=500 done", jp.Job, jp)
+		}
+	}
+}
+
+func TestNilProgressIsSafe(t *testing.T) {
+	var p *Progress
+	p.Update(0, 1)
+	p.MarkDone(0)
+	if p.Snapshot() != nil || p.TotalSteps() != 0 || p.Updates() != 0 {
+		t.Error("nil Progress should read as empty")
+	}
+}

@@ -73,6 +73,32 @@ func New(memWords int64, readerSlots int) *Memory {
 	}
 }
 
+// Words returns the flat-memory extent this shadow covers, and Slots the
+// per-word reader bound; both identify compatible reuses via Reset.
+func (m *Memory) Words() int64 { return int64(len(m.pages)) * pageWords }
+
+// Slots returns the per-word reader-PC bound.
+func (m *Memory) Slots() int { return m.k }
+
+// Reset clears every recorded access so the Memory can shadow a fresh
+// run, keeping the already-allocated pages (the point of reuse: batch
+// jobs of the same program touch the same pages). Counters restart at
+// zero; retained pages are not re-counted in PagesAllocated, so per-run
+// stats only report allocations the run itself caused.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		clear(p.hasWrite)
+		clear(p.nReaders)
+	}
+	m.loads, m.stores = 0, 0
+	m.evictedReaders = 0
+	m.pagesAllocated = 0
+	m.droppedOutRange = 0
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Memory) Stats() Stats {
 	return Stats{

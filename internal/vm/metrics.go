@@ -1,0 +1,47 @@
+package vm
+
+import "alchemist/internal/obs"
+
+// Metrics is the VM instrumentation sink: pre-resolved counters from an
+// obs.Registry, shared by every run configured with it. The dispatch
+// loop never touches these — each run accumulates into its per-goroutine
+// execCtx and flushes the totals here once at exit — so instrumented and
+// uninstrumented runs execute the same hot path. A nil *Metrics disables
+// flushing entirely.
+type Metrics struct {
+	// Runs counts completed VM runs (including runs that ended in an
+	// error or cancellation).
+	Runs *obs.Counter
+	// Steps counts executed instructions across all runs and goroutines.
+	Steps *obs.Counter
+	// CancelChecks counts dispatch-loop slow-path checks (cancellation
+	// polls / step-limit probes / progress deliveries share one branch).
+	CancelChecks *obs.Counter
+	// Progress counts OnProgress callback deliveries.
+	Progress *obs.Counter
+}
+
+// NewMetrics resolves the VM metric set from a registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Runs: r.Counter("alchemist_vm_runs_total",
+			"Completed VM runs, including failed and cancelled ones."),
+		Steps: r.Counter("alchemist_vm_steps_total",
+			"Executed VM instructions across all runs and goroutines."),
+		CancelChecks: r.Counter("alchemist_vm_cancel_checks_total",
+			"Dispatch-loop slow-path checks (cancellation, step limit, progress)."),
+		Progress: r.Counter("alchemist_vm_progress_reports_total",
+			"OnProgress callback deliveries."),
+	}
+}
+
+// flushRun records one completed run's totals. Safe on a nil receiver.
+func (m *Metrics) flushRun(steps, checks, progress int64) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Steps.Add(steps)
+	m.CancelChecks.Add(checks)
+	m.Progress.Add(progress)
+}

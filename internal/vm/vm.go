@@ -84,6 +84,16 @@ type Config struct {
 	Tracer Tracer
 	// Seed initializes the deterministic PRNG behind rand().
 	Seed uint64
+	// OnProgress, when set, is called from the root interpreter goroutine
+	// with the steps executed so far: every CancelCheckInterval steps
+	// (piggybacked on the dispatch loop's existing slow-path check, so it
+	// adds no per-instruction cost) and once more with the final total
+	// when the run completes successfully. Reports are monotonically
+	// non-decreasing. Spawned goroutines do not report.
+	OnProgress func(steps int64)
+	// Metrics, when set, receives this run's dispatch-loop counters,
+	// flushed once at exit so the hot path stays untouched.
+	Metrics *Metrics
 }
 
 // Result summarizes a completed run.
@@ -134,7 +144,8 @@ type VM struct {
 	outMu  sync.Mutex
 	output []int64
 
-	parSteps int64 // atomic; steps from spawned goroutines
+	parSteps  int64 // atomic; steps from spawned goroutines
+	parChecks int64 // atomic; slow-path checks from spawned goroutines
 
 	errMu    sync.Mutex
 	spawnErr error
@@ -236,14 +247,23 @@ func (vm *VM) RunCtx(ctx context.Context) (*Result, error) {
 	}
 	ex := vm.newExecCtx(ctx)
 	ret, err := vm.runFrame(vm.prog.Main, nil, ex)
+	totalSteps := ex.steps + atomic.LoadInt64(&vm.parSteps)
+	if err == nil {
+		err = vm.firstSpawnError()
+	}
+	if err == nil && vm.cfg.OnProgress != nil {
+		// Final report: short runs that never crossed a check window
+		// still observe their completion.
+		vm.cfg.OnProgress(totalSteps)
+		ex.progressed++
+	}
+	vm.cfg.Metrics.flushRun(totalSteps,
+		ex.checks+atomic.LoadInt64(&vm.parChecks), ex.progressed)
 	if err != nil {
 		return nil, err
 	}
-	if err := vm.firstSpawnError(); err != nil {
-		return nil, err
-	}
 	res := &Result{
-		Steps:  ex.steps + atomic.LoadInt64(&vm.parSteps),
+		Steps:  totalSteps,
 		Output: vm.output,
 		Ret:    ret,
 	}
@@ -286,11 +306,18 @@ type execCtx struct {
 	ctx       context.Context
 	limit     int64
 	nextCheck int64
+
+	// progress is the root goroutine's OnProgress hook (nil on spawned
+	// children); checks and progressed count slow-path checks and
+	// delivered reports for the per-run metrics flush.
+	progress   func(steps int64)
+	checks     int64
+	progressed int64
 }
 
 // newExecCtx builds the root interpreter state for a run under ctx.
 func (vm *VM) newExecCtx(ctx context.Context) *execCtx {
-	ex := &execCtx{vm: vm, limit: vm.cfg.StepLimit}
+	ex := &execCtx{vm: vm, limit: vm.cfg.StepLimit, progress: vm.cfg.OnProgress}
 	if ctx != nil && ctx.Done() != nil {
 		ex.ctx = ctx
 	}
@@ -314,7 +341,7 @@ func (ex *execCtx) armCheck() {
 	if ex.limit > 0 && ex.limit < math.MaxInt64 {
 		next = ex.limit + 1
 	}
-	if ex.ctx != nil {
+	if ex.ctx != nil || ex.progress != nil {
 		if c := ex.steps + CancelCheckInterval; c < next {
 			next = c
 		}
@@ -323,8 +350,9 @@ func (ex *execCtx) armCheck() {
 }
 
 // check is the dispatch loop's slow path: context cancellation first,
-// then the step limit, then re-arm.
+// then the step limit, then the progress report, then re-arm.
 func (ex *execCtx) check(in *ir.Instr) error {
+	ex.checks++
 	if ex.ctx != nil {
 		if err := ex.ctx.Err(); err != nil {
 			return err
@@ -332,6 +360,10 @@ func (ex *execCtx) check(in *ir.Instr) error {
 	}
 	if ex.limit > 0 && ex.steps > ex.limit {
 		return ex.vm.trap(in, "step limit %d exceeded", ex.limit)
+	}
+	if ex.progress != nil {
+		ex.progress(ex.steps)
+		ex.progressed++
 	}
 	ex.armCheck()
 	return nil
@@ -602,6 +634,7 @@ func (vm *VM) runFrame(f *ir.Func, args []int64, ex *execCtx) (int64, error) {
 					child := ex.child()
 					_, err := vm.runFrame(callee, args, child)
 					atomic.AddInt64(&vm.parSteps, child.steps)
+					atomic.AddInt64(&vm.parChecks, child.checks)
 					if err != nil {
 						vm.recordSpawnError(err)
 					}
@@ -616,6 +649,7 @@ func (vm *VM) runFrame(f *ir.Func, args []int64, ex *execCtx) (int64, error) {
 					return 0, err
 				}
 				ex.steps += child.steps
+				ex.checks += child.checks
 				pending = append(pending, simSpawn{start: ex.vtime, span: child.vtime})
 			default:
 				// Sequential semantics: a spawn is a plain call. This is

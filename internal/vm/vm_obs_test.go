@@ -1,0 +1,101 @@
+package vm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"alchemist/internal/compile"
+	"alchemist/internal/obs"
+	"alchemist/internal/vm"
+)
+
+// loopSrc runs well past CancelCheckInterval so the slow-path check
+// (and therefore progress delivery) fires several times.
+const loopSrc = `
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 20000; i = i + 1) { s = s + i; }
+  return s;
+}
+`
+
+func TestMetricsFlushMatchesResult(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := vm.NewMetrics(reg)
+	res := run(t, loopSrc, vm.Config{Metrics: m})
+
+	if got := m.Runs.Value(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if got := m.Steps.Value(); got != res.Steps {
+		t.Errorf("flushed steps = %d, want Result.Steps = %d", got, res.Steps)
+	}
+	if res.Steps <= vm.CancelCheckInterval {
+		t.Fatalf("test program too short (%d steps) to exercise the check path", res.Steps)
+	}
+}
+
+func TestOnProgressDelivery(t *testing.T) {
+	var reports []int64
+	res := run(t, loopSrc, vm.Config{
+		OnProgress: func(steps int64) { reports = append(reports, steps) },
+	})
+
+	// One report per CancelCheckInterval window plus the final total.
+	wantMin := res.Steps/vm.CancelCheckInterval + 1
+	if int64(len(reports)) < wantMin {
+		t.Fatalf("got %d reports, want >= %d (steps=%d)", len(reports), wantMin, res.Steps)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] < reports[i-1] {
+			t.Errorf("reports not monotonic: [%d]=%d after [%d]=%d",
+				i, reports[i], i-1, reports[i-1])
+		}
+	}
+	if last := reports[len(reports)-1]; last != res.Steps {
+		t.Errorf("final report = %d, want total steps %d", last, res.Steps)
+	}
+}
+
+func TestOnProgressShortRunGetsFinalReport(t *testing.T) {
+	var reports []int64
+	res := run(t, "int main() { return 7; }", vm.Config{
+		OnProgress: func(steps int64) { reports = append(reports, steps) },
+	})
+	if len(reports) != 1 || reports[0] != res.Steps {
+		t.Errorf("reports = %v, want exactly one final report of %d", reports, res.Steps)
+	}
+}
+
+func TestMetricsFlushOnCancellation(t *testing.T) {
+	prog, err := compile.Build("test.mc", `int main() { while (1) {} return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := vm.NewMetrics(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	machine, err := vm.New(prog, vm.Config{
+		Metrics: m,
+		// Cancel deterministically from inside the run: the first
+		// progress delivery proves we are mid-execution, and the next
+		// check window observes the cancellation.
+		OnProgress: func(int64) { cancel() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := m.Runs.Value(); got != 1 {
+		t.Errorf("runs = %d, want 1 (cancelled runs still flush)", got)
+	}
+	if m.Steps.Value() <= 0 || m.CancelChecks.Value() <= 0 {
+		t.Errorf("steps = %d checks = %d, want both > 0",
+			m.Steps.Value(), m.CancelChecks.Value())
+	}
+}
