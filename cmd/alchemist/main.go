@@ -11,6 +11,7 @@
 //	alchemist table5    [-small] [-runs N] [-jobs N]        Table V (speedups)
 //	alchemist run       (-w workload | -f file.mc) [-parallel] [-par-src]
 //	alchemist disasm    (-w workload | -f file.mc)
+//	alchemist serve     [-addr host:port] [flags]           HTTP profiling service
 //	alchemist list                                          available workloads
 //
 // profile and advise accept an input suite — several profiling jobs that
@@ -25,6 +26,13 @@
 // endpoint (/metrics in Prometheus text format, /metrics.json, and
 // net/http/pprof under /debug/pprof/) on a side listener while the
 // command runs, and print a one-line metrics summary on completion.
+// Both also accept -progress for a live per-job progress display on
+// stderr (a rewriting status line on a terminal, periodic plain lines
+// otherwise).
+//
+// serve exposes the same engine as a JSON-over-HTTP service with an
+// async job queue, backpressure, and SSE progress streaming; see
+// internal/server for the endpoint reference.
 package main
 
 import (
@@ -70,6 +78,8 @@ func main() {
 		err = cmdRun(args)
 	case "disasm":
 		err = cmdDisasm(args)
+	case "serve":
+		err = cmdServe(args)
 	case "list":
 		err = cmdList(args)
 	case "help", "-h", "--help":
@@ -97,6 +107,7 @@ commands:
   table5    Table V: sequential vs parallel wall-clock and speedup
   run       execute a program (optionally the spawn/sync variant in parallel)
   disasm    dump compiled bytecode
+  serve     HTTP profiling service: sync + async jobs, SSE progress, /metrics
   list      list embedded workloads
 
 run 'alchemist <command> -h' for flags`)
@@ -269,7 +280,9 @@ func parseTypes(s string) ([]alchemist.DepType, error) {
 
 // profileMerged compiles the source through an Engine instrumented into
 // reg and profiles every job concurrently, returning the union profile.
-func profileMerged(ctx context.Context, reg *obs.Registry, name, src string, jobs []alchemist.ProfileJob, memWords int64, workers int) (*alchemist.Profile, error) {
+// A non-nil progress receives live per-job step counts, with each job
+// marked done as it completes.
+func profileMerged(ctx context.Context, reg *obs.Registry, name, src string, jobs []alchemist.ProfileJob, memWords int64, workers int, progress *obs.Progress) (*alchemist.Profile, error) {
 	eng := alchemist.NewEngine(
 		alchemist.WithWorkers(workers),
 		alchemist.WithRegistry(reg),
@@ -281,8 +294,30 @@ func profileMerged(ctx context.Context, reg *obs.Registry, name, src string, job
 	if err != nil {
 		return nil, err
 	}
-	merged, _, err := eng.ProfileBatch(ctx, prog, jobs)
-	return merged, err
+	if progress == nil {
+		merged, _, err := eng.ProfileBatch(ctx, prog, jobs)
+		return merged, err
+	}
+	// Stream per-job completions so the live display can count finished
+	// jobs, then merge exactly as ProfileBatch would.
+	for i := range jobs {
+		i := i
+		progress.Update(i, 0)
+		jobs[i].OnProgress = func(steps int64) { progress.Update(i, steps) }
+	}
+	results := make([]alchemist.BatchResult, len(jobs))
+	for r := range eng.ProfileEach(ctx, prog, jobs) {
+		results[r.Job] = r
+		progress.MarkDone(r.Job)
+	}
+	profiles := make([]*alchemist.Profile, len(jobs))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("batch job %d: %w", i, r.Err)
+		}
+		profiles[i] = r.Profile
+	}
+	return alchemist.Merge(profiles...)
 }
 
 func cmdProfile(args []string) error {
@@ -299,6 +334,7 @@ func cmdProfile(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the profile as JSON")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (\":0\" picks a port)")
+	liveProgress := fs.Bool("progress", false, "render live per-job progress on stderr")
 	fs.Parse(args)
 
 	name, src, pjobs, memWords, err := sf.loadJobs(*inputCSV, *scalesCSV)
@@ -315,9 +351,15 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	defer stopMetrics()
+	var progress *obs.Progress
+	if *liveProgress {
+		progress = &obs.Progress{}
+	}
+	stopProgress := startProgress(*liveProgress, progress)
 	ctx, cancel := newCtx(*timeout)
 	defer cancel()
-	prof, err := profileMerged(ctx, reg, name, src, pjobs, memWords, *jobs)
+	prof, err := profileMerged(ctx, reg, name, src, pjobs, memWords, *jobs, progress)
+	stopProgress()
 	if err != nil {
 		return err
 	}
@@ -348,7 +390,7 @@ func cmdAdvise(args []string) error {
 	}
 	ctx, cancel := newCtx(*timeout)
 	defer cancel()
-	prof, err := profileMerged(ctx, obs.NewRegistry(), name, src, pjobs, memWords, *jobs)
+	prof, err := profileMerged(ctx, obs.NewRegistry(), name, src, pjobs, memWords, *jobs, nil)
 	if err != nil {
 		return err
 	}
@@ -420,6 +462,7 @@ func cmdTable5(args []string) error {
 	jobs := fs.Int("jobs", 1, "concurrent workload benchmarks (>1 skews wall-clock columns only)")
 	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (\":0\" picks a port)")
+	liveProgress := fs.Bool("progress", false, "render live per-run progress on stderr")
 	fs.Parse(args)
 	reg := obs.NewRegistry()
 	stopMetrics, err := startMetrics(*metricsAddr, reg)
@@ -427,9 +470,15 @@ func cmdTable5(args []string) error {
 		return err
 	}
 	defer stopMetrics()
+	var progress *obs.Progress
+	if *liveProgress {
+		progress = &obs.Progress{}
+	}
+	stopProgress := startProgress(*liveProgress, progress)
 	ctx, cancel := newCtx(*timeout)
 	defer cancel()
-	rows, err := bench.Table5Ctx(ctx, bench.Scale{Small: *small, Metrics: vm.NewMetrics(reg)}, *runs, *jobs)
+	rows, err := bench.Table5Ctx(ctx, bench.Scale{Small: *small, Metrics: vm.NewMetrics(reg), Progress: progress}, *runs, *jobs)
+	stopProgress()
 	if err != nil {
 		return err
 	}

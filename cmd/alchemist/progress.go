@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"alchemist/internal/obs"
+)
+
+// startProgress renders a live progress display on stderr from the
+// aggregate p while a command runs. On a terminal it rewrites one
+// status line ~10x per second; otherwise it prints a plain line every
+// couple of seconds so redirected logs stay readable. The returned stop
+// function ends the display, emitting one final snapshot; it is a no-op
+// when enabled is false.
+func startProgress(enabled bool, p *obs.Progress) (stop func()) {
+	if !enabled {
+		return func() {}
+	}
+	tty := false
+	if fi, err := os.Stderr.Stat(); err == nil {
+		tty = fi.Mode()&os.ModeCharDevice != 0
+	}
+	period := 2 * time.Second
+	if tty {
+		period = 100 * time.Millisecond
+	}
+	render := func(final bool) {
+		snap := p.Snapshot()
+		doneN := 0
+		for _, jp := range snap {
+			if jp.Done {
+				doneN++
+			}
+		}
+		line := fmt.Sprintf("progress: %d/%d jobs done, %d steps", doneN, len(snap), p.TotalSteps())
+		if tty {
+			// Rewrite in place; the final snapshot commits the line so
+			// the next output starts fresh.
+			fmt.Fprintf(os.Stderr, "\r\x1b[K%s", line)
+			if final {
+				fmt.Fprintln(os.Stderr)
+			}
+			return
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				render(false)
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+		render(true)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"alchemist"
+	"alchemist/internal/server"
+)
+
+// cmdServe runs the profiling-as-a-service HTTP front end: one shared
+// Engine behind the internal/server API (sync compile/profile/advise/run,
+// async jobs with SSE progress streams, /metrics, /healthz). SIGINT or
+// SIGTERM starts a graceful drain: in-flight jobs finish (bounded by
+// -drain-timeout) while new submissions are refused.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "compiled-program cache budget (0 = default)")
+	queue := fs.Int("queue", 0, "admission queue depth; full queue answers 429 (0 = 4x workers)")
+	timeout := fs.Duration("timeout", time.Minute, "default per-job deadline")
+	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "upper bound on request-supplied deadlines")
+	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retire finished async jobs after this long")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window; jobs still running after it are aborted")
+	quiet := fs.Bool("quiet", false, "disable per-request access logging")
+	fs.Parse(args)
+
+	eng := alchemist.NewEngine(
+		alchemist.WithWorkers(*workers),
+		alchemist.WithCacheSize(*cacheSize),
+	)
+	var accessLog io.Writer = os.Stderr
+	if *quiet {
+		accessLog = nil
+	}
+	srv, err := server.New(server.Options{
+		Engine:         eng,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		JobTTL:         *jobTTL,
+		MaxBodyBytes:   *maxBody,
+		AccessLog:      accessLog,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	// The listen line goes to stdout so scripts can scrape the bound
+	// address (the port is dynamic with -addr :0).
+	fmt.Printf("serve: listening on %s\n", srv.URL())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	<-ctx.Done()
+	stopSignals() // a second signal kills the process instead of waiting
+
+	fmt.Fprintf(os.Stderr, "serve: draining (up to %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe launches the built binary's serve command on a free port
+// and returns its base URL plus the running command.
+func startServe(t *testing.T, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	cmd := exec.Command(binary, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	// The listen line is the first stdout line: "serve: listening on URL".
+	buf := make([]byte, 256)
+	line := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(line, "\n") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line from serve; got %q", line)
+		}
+		n, err := stdout.Read(buf)
+		line += string(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	const prefix = "serve: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected serve output %q", line)
+	}
+	url := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return url, cmd
+}
+
+func TestCLIServeProfileAndGracefulShutdown(t *testing.T) {
+	url, cmd := startServe(t)
+
+	resp, err := http.Post(url+"/v1/profile", "application/json",
+		strings.NewReader(`{"workload":"aes","scales":[1024],"top":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"total_steps"`) {
+		t.Errorf("profile body:\n%.400s", body)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"alchemist_server_requests_total",
+		"alchemist_process_goroutines",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// SIGTERM starts the drain; with nothing in flight the process must
+	// exit promptly and cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+func TestCLIProfileProgressFlag(t *testing.T) {
+	// Stderr is a pipe here (not a TTY), so the display must degrade to
+	// plain lines; the final snapshot always prints, even on fast runs.
+	out := run(t, "profile", "-w", "aes", "-scale", "1024", "-top", "3", "-progress", "-jobs", "2", "-scales", "512,1024")
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "progress: ") {
+			found = true
+			if !strings.Contains(line, "jobs done") || !strings.Contains(line, "steps") {
+				t.Errorf("malformed progress line %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no progress lines in output:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("progress: %d/%d jobs done", 2, 2)) {
+		t.Errorf("final progress snapshot should report 2/2 jobs done:\n%s", out)
+	}
+}
+
+func TestCLITable5ProgressFlag(t *testing.T) {
+	out := run(t, "table5", "-small", "-runs", "1", "-progress")
+	if !strings.Contains(out, "jobs done") {
+		t.Errorf("table5 -progress output lacks progress lines:\n%s", out)
+	}
+	// 4 workloads x (sequential + parallel) x 1 run = 8 progress slots.
+	if !strings.Contains(out, "progress: 8/8 jobs done") {
+		t.Errorf("final snapshot should report 8/8 runs done:\n%s", out)
+	}
+}

@@ -501,19 +501,15 @@ func (e *Engine) runJob(ctx context.Context, p *Program, i int, job ProfileJob) 
 	return BatchResult{Job: i, Profile: prof, Run: res, Err: err}
 }
 
-// ProfileEach fans the jobs over the engine's worker pool and streams
-// one BatchResult per job in completion order. The returned channel is
-// closed after the last result. Cancelling ctx aborts running jobs
-// (each observes it within one VM step-check window) and fails
-// not-yet-started ones with ctx.Err().
-func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob) <-chan BatchResult {
-	if ctx == nil { // tolerate nil like every other entry point
-		ctx = context.Background()
-	}
-	out := make(chan BatchResult, len(jobs))
+// fanOut schedules n jobs onto the engine's worker pool, streaming one
+// result per job in completion order on the returned channel (closed
+// after the last result). Jobs wait in the queue-depth gauge until a
+// worker slot frees; cancellation fails not-yet-started jobs via abort.
+func fanOut[R any](e *Engine, ctx context.Context, n int, run func(i int) R, abort func(i int, err error) R) <-chan R {
+	out := make(chan R, n)
 	var wg sync.WaitGroup
-	wg.Add(len(jobs))
-	for i := range jobs {
+	wg.Add(n)
+	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
 			e.em.queueDepth.Add(1)
@@ -525,10 +521,10 @@ func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob)
 				e.em.queueDepth.Add(-1)
 				e.em.jobs.Inc()
 				e.em.jobErrors.Inc()
-				out <- BatchResult{Job: i, Err: ctx.Err()}
+				out <- abort(i, ctx.Err())
 				return
 			}
-			out <- e.runJob(ctx, p, i, jobs[i])
+			out <- run(i)
 		}(i)
 	}
 	go func() {
@@ -536,6 +532,20 @@ func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob)
 		close(out)
 	}()
 	return out
+}
+
+// ProfileEach fans the jobs over the engine's worker pool and streams
+// one BatchResult per job in completion order. The returned channel is
+// closed after the last result. Cancelling ctx aborts running jobs
+// (each observes it within one VM step-check window) and fails
+// not-yet-started ones with ctx.Err().
+func (e *Engine) ProfileEach(ctx context.Context, p *Program, jobs []ProfileJob) <-chan BatchResult {
+	if ctx == nil { // tolerate nil like every other entry point
+		ctx = context.Background()
+	}
+	return fanOut(e, ctx, len(jobs),
+		func(i int) BatchResult { return e.runJob(ctx, p, i, jobs[i]) },
+		func(i int, err error) BatchResult { return BatchResult{Job: i, Err: err} })
 }
 
 // ProfileBatch profiles p over all jobs concurrently and merges the
@@ -565,6 +575,101 @@ func (e *Engine) ProfileBatch(ctx context.Context, p *Program, jobs []ProfileJob
 		return nil, results, err
 	}
 	return merged, results, nil
+}
+
+// RunJob is one uninstrumented execution within a batch: an input
+// stream plus an optional per-job run config.
+type RunJob struct {
+	// Input is served to the program via the in()/inlen() builtins.
+	Input []int64
+	// Config overrides the engine's default run config (the RunConfig
+	// embedded in the default profile config) for this job. In both
+	// cases a non-nil Input above replaces the config's Input field.
+	Config *RunConfig
+	// OnProgress mirrors ProfileJob.OnProgress: executed-step reports
+	// every vm.CancelCheckInterval steps plus a final total, delivered
+	// from the job's worker goroutine. It overrides any OnProgress in
+	// the job's config.
+	OnProgress func(steps int64)
+}
+
+// RunBatchResult is the outcome of one RunJob.
+type RunBatchResult struct {
+	// Job indexes into the jobs slice passed to RunBatch/RunEach.
+	Job int
+	// Run is set when Err is nil.
+	Run *RunResult
+	// Err is the job's failure, including ctx.Err() for jobs abandoned
+	// after cancellation.
+	Err error
+}
+
+// runJobConfig resolves the effective run config for one job.
+func (e *Engine) runJobConfig(job RunJob) RunConfig {
+	cfg := e.defProfile.RunConfig
+	if job.Config != nil {
+		cfg = *job.Config
+	}
+	if job.Input != nil {
+		cfg.Input = job.Input
+	}
+	if job.OnProgress != nil {
+		cfg.OnProgress = job.OnProgress
+	}
+	return cfg
+}
+
+// runRunJob executes one plain-run batch job on a worker slot, counted
+// under the same job metrics as profiling jobs.
+func (e *Engine) runRunJob(ctx context.Context, p *Program, i int, job RunJob) RunBatchResult {
+	cfg := e.runJobConfig(job)
+	cfg.metrics = e.vmm
+
+	e.em.inflightJobs.Add(1)
+	start := time.Now()
+	res, err := p.RunCtx(ctx, cfg)
+	e.em.jobWall.Observe(time.Since(start).Seconds())
+	e.em.inflightJobs.Add(-1)
+
+	e.em.jobs.Inc()
+	if err != nil {
+		e.em.jobErrors.Inc()
+	}
+	return RunBatchResult{Job: i, Run: res, Err: err}
+}
+
+// RunEach fans uninstrumented executions over the engine's worker pool
+// — the same pool ProfileEach draws from, so mixed run/profile load
+// shares one concurrency bound — and streams one RunBatchResult per job
+// in completion order. The returned channel is closed after the last
+// result.
+func (e *Engine) RunEach(ctx context.Context, p *Program, jobs []RunJob) <-chan RunBatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return fanOut(e, ctx, len(jobs),
+		func(i int) RunBatchResult { return e.runRunJob(ctx, p, i, jobs[i]) },
+		func(i int, err error) RunBatchResult { return RunBatchResult{Job: i, Err: err} })
+}
+
+// RunBatch executes p over all jobs concurrently, mirroring
+// ProfileBatch for plain runs: results come back in job order, and the
+// returned error is the failure of the lowest-indexed failing job (the
+// per-job results still carry every individual outcome).
+func (e *Engine) RunBatch(ctx context.Context, p *Program, jobs []RunJob) ([]RunBatchResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("alchemist: RunBatch needs at least one job")
+	}
+	results := make([]RunBatchResult, len(jobs))
+	for r := range e.RunEach(ctx, p, jobs) {
+		results[r.Job] = r
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("alchemist: batch job %d: %w", i, r.Err)
+		}
+	}
+	return results, nil
 }
 
 // defaultEngine backs the deprecated package-level facade functions.

@@ -1,0 +1,103 @@
+// serve demonstrates the profiling-as-a-service subsystem end to end:
+// an in-process internal/server instance on a free port, a synchronous
+// profile call, an async job followed over its SSE progress stream, a
+// /metrics scrape, and a graceful drain.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"alchemist"
+	"alchemist/internal/server"
+)
+
+func main() {
+	eng := alchemist.NewEngine(alchemist.WithWorkers(2))
+	srv, err := server.New(server.Options{Engine: eng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	base := srv.URL()
+	fmt.Printf("serving %s\n\n", base)
+
+	// Synchronous profiling: one POST, the merged profile comes back in
+	// the response. Two scales of the aes workload are profiled
+	// concurrently and merged into one union profile.
+	resp, err := http.Post(base+"/v1/profile", "application/json",
+		strings.NewReader(`{"workload":"aes","scales":[512,1024],"top":3}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("=== POST /v1/profile -> %d (excerpt) ===\n%.600s...\n\n", resp.StatusCode, body)
+
+	// Async: POST /v1/jobs answers 202 immediately with the job id.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"profile","workload":"aes","scales":[1024]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc := resp.Header.Get("Location")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("=== POST /v1/jobs -> %d, Location: %s ===\n", resp.StatusCode, loc)
+
+	// Follow the job's SSE stream: the full event log is replayed in
+	// order (queued, running, progress..., terminal) and the stream ends
+	// itself after the terminal event.
+	resp, err = http.Get(base + loc + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			events++
+			if events <= 3 || strings.Contains(line, `"state"`) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+	resp.Body.Close()
+	fmt.Printf("(%d events total)\n\n", events)
+
+	// The same registry serves the engine, VM, process, and server
+	// metrics on one endpoint.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("=== GET /metrics (excerpt) ===")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "alchemist_server_requests_total") ||
+			strings.HasPrefix(line, "alchemist_server_jobs_created_total") ||
+			strings.HasPrefix(line, "alchemist_engine_jobs_total") ||
+			strings.HasPrefix(line, "alchemist_process_goroutines") {
+			fmt.Println(line)
+		}
+	}
+
+	// Graceful drain: new jobs are refused while in-flight ones finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndrained cleanly")
+}

@@ -16,6 +16,7 @@ import (
 	"alchemist/internal/compile"
 	"alchemist/internal/core"
 	"alchemist/internal/indexing"
+	"alchemist/internal/obs"
 	"alchemist/internal/progs"
 	"alchemist/internal/report"
 	"alchemist/internal/vm"
@@ -24,7 +25,8 @@ import (
 // Scale selects input sizes: 0 uses each workload's default (the paper
 // configuration); otherwise the workload-specific small scale times the
 // factor. It doubles as the harness run configuration: an optional
-// Metrics sink is threaded into every VM run the harness performs.
+// Metrics sink and Progress aggregate are threaded into every VM run
+// the harness performs.
 type Scale struct {
 	// Small uses each workload's SmallScale input (fast CI runs).
 	Small bool
@@ -32,6 +34,10 @@ type Scale struct {
 	// every VM run (native, profiled, and simulated), flushed once per
 	// run; resolve it from a registry with vm.NewMetrics.
 	Metrics *vm.Metrics
+	// Progress, when non-nil, receives live step counts: every VM run
+	// the harness performs allocates one job slot, reports into it via
+	// OnProgress, and marks it done on completion.
+	Progress *obs.Progress
 }
 
 func inputFor(w *progs.Workload, sc Scale) []int64 {
@@ -41,6 +47,19 @@ func inputFor(w *progs.Workload, sc Scale) []int64 {
 	return w.InputFor(0)
 }
 
+// vmConfig assembles one run's VM configuration, threading the optional
+// Metrics sink and Progress aggregate. The returned done function marks
+// the run's progress slot complete; call it once the run has finished.
+func (sc Scale) vmConfig(input []int64, memWords int64, simWorkers int) (vm.Config, func()) {
+	cfg := vm.Config{Input: input, MemWords: memWords, SimWorkers: simWorkers, Metrics: sc.Metrics}
+	if sc.Progress == nil {
+		return cfg, func() {}
+	}
+	slot := sc.Progress.AllocJob()
+	cfg.OnProgress = func(steps int64) { sc.Progress.Update(slot, steps) }
+	return cfg, func() { sc.Progress.MarkDone(slot) }
+}
+
 // RunNative executes the sequential workload without instrumentation and
 // returns the result with its wall-clock time.
 func RunNative(w *progs.Workload, sc Scale) (*vm.Result, time.Duration, error) {
@@ -48,24 +67,28 @@ func RunNative(w *progs.Workload, sc Scale) (*vm.Result, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	cfg, done := sc.vmConfig(inputFor(w, sc), w.MemWords, 0)
+	defer done()
 	start := time.Now()
-	res, err := core.RunProgram(prog, vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics})
+	res, err := core.RunProgram(prog, cfg)
 	return res, time.Since(start), err
 }
 
 // RunProfiled executes the workload under the profiler and returns the
 // profile with its wall-clock time.
 func RunProfiled(w *progs.Workload, sc Scale) (*core.Profile, time.Duration, error) {
+	cfg, done := sc.vmConfig(inputFor(w, sc), w.MemWords, 0)
+	defer done()
 	start := time.Now()
-	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source,
-		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics}, core.DefaultOptions())
+	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source, cfg, core.DefaultOptions())
 	return prof, time.Since(start), err
 }
 
 // Profile profiles the workload with explicit options (ablations).
 func Profile(w *progs.Workload, sc Scale, opts core.Options) (*core.Profile, error) {
-	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source,
-		vm.Config{Input: inputFor(w, sc), MemWords: w.MemWords, Metrics: sc.Metrics}, opts)
+	cfg, done := sc.vmConfig(inputFor(w, sc), w.MemWords, 0)
+	defer done()
+	prof, _, err := core.ProfileSource(w.Name+".mc", w.Source, cfg, opts)
 	return prof, err
 }
 
@@ -290,12 +313,15 @@ func Table5BenchCtx(ctx context.Context, w *progs.Workload, sc Scale, runs int) 
 			if err != nil {
 				return nil, 0, err
 			}
-			m, err := vm.New(p, vm.Config{Input: input, MemWords: w.MemWords, SimWorkers: workers, Metrics: sc.Metrics})
+			cfg, done := sc.vmConfig(input, w.MemWords, workers)
+			m, err := vm.New(p, cfg)
 			if err != nil {
+				done()
 				return nil, 0, err
 			}
 			start := time.Now()
 			res, err = m.RunCtx(ctx)
+			done()
 			if err != nil {
 				return nil, 0, err
 			}

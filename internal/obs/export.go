@@ -67,6 +67,7 @@ type Snapshot struct {
 // atomic; the snapshot as a whole is not a consistent cut across
 // instruments (fine for monitoring, the only intended use).
 func (r *Registry) Snapshot() Snapshot {
+	r.runScrapeHooks()
 	s := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
@@ -114,6 +115,7 @@ func formatFloat(v float64) string {
 // WritePrometheus writes every instrument in the Prometheus text
 // exposition format (version 0.0.4), sorted by metric name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	for _, in := range r.sorted() {
 		if in.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {

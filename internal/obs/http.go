@@ -40,8 +40,11 @@ type Server struct {
 
 // StartServer serves Handler(r) on addr (":0" picks a free port) in a
 // background goroutine and returns immediately. Close the server to stop
-// serving and release the port.
+// serving and release the port. The registry additionally exports the
+// scrape-refreshed process metrics (goroutines, heap, GC, uptime — see
+// RegisterProcess).
 func StartServer(addr string, r *Registry) (*Server, error) {
+	RegisterProcess(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -148,11 +148,53 @@ type instrument struct {
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*instrument
+	hooks  map[string]func()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*instrument)}
+	return &Registry{
+		byName: make(map[string]*instrument),
+		hooks:  make(map[string]func()),
+	}
+}
+
+// OnScrape registers a named hook that runs before every export
+// (Snapshot, WritePrometheus, WriteJSON). Hooks let gauges that mirror
+// external state — runtime memstats, queue lengths — refresh lazily at
+// scrape time instead of polling on a timer. Registering a name that
+// already has a hook replaces it; use name-disjoint hooks to compose.
+// Hooks must not themselves trigger an export (deadlock-free, but the
+// nested export would run with stale hook state).
+func (r *Registry) OnScrape(name string, fn func()) {
+	r.mu.Lock()
+	r.hooks[name] = fn
+	r.mu.Unlock()
+}
+
+// onScrapeOnce installs fn under name only if no hook with that name
+// exists yet, reporting whether it was installed.
+func (r *Registry) onScrapeOnce(name string, fn func()) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hooks[name]; ok {
+		return false
+	}
+	r.hooks[name] = fn
+	return true
+}
+
+// runScrapeHooks invokes every registered scrape hook outside the lock.
+func (r *Registry) runScrapeHooks() {
+	r.mu.RLock()
+	fns := make([]func(), 0, len(r.hooks))
+	for _, fn := range r.hooks {
+		fns = append(fns, fn)
+	}
+	r.mu.RUnlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // validName enforces the Prometheus metric-name grammar

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterProcess registers scrape-friendly process-level metrics into
+// the registry and refreshes them via a scrape hook on every export:
+//
+//	alchemist_process_goroutines           current goroutine count
+//	alchemist_process_heap_inuse_bytes     bytes in in-use heap spans
+//	alchemist_process_heap_alloc_bytes     bytes of live heap objects
+//	alchemist_process_sys_bytes            total bytes obtained from the OS
+//	alchemist_process_gc_cycles_total      completed GC cycles
+//	alchemist_process_gc_pause_ns_total    cumulative stop-the-world pause
+//	alchemist_process_uptime_seconds       seconds since registration
+//	alchemist_process_start_time_unix      registration time, Unix seconds
+//
+// Values refresh lazily at scrape time — no background goroutine runs
+// between scrapes. Calling RegisterProcess again on the same registry is
+// a no-op, so independent subsystems sharing one registry can each
+// request process metrics without double-counting the GC deltas.
+func RegisterProcess(r *Registry) {
+	start := time.Now()
+	goroutines := r.Gauge("alchemist_process_goroutines",
+		"Current number of goroutines.")
+	heapInuse := r.Gauge("alchemist_process_heap_inuse_bytes",
+		"Bytes in in-use heap spans.")
+	heapAlloc := r.Gauge("alchemist_process_heap_alloc_bytes",
+		"Bytes of allocated, still-reachable heap objects.")
+	sysBytes := r.Gauge("alchemist_process_sys_bytes",
+		"Total bytes of memory obtained from the OS.")
+	gcCycles := r.Counter("alchemist_process_gc_cycles_total",
+		"Completed garbage-collection cycles.")
+	gcPause := r.Counter("alchemist_process_gc_pause_ns_total",
+		"Cumulative stop-the-world GC pause, nanoseconds.")
+	uptime := r.Gauge("alchemist_process_uptime_seconds",
+		"Seconds since process metrics were registered.")
+	startUnix := r.Gauge("alchemist_process_start_time_unix",
+		"Unix time at which process metrics were registered.")
+	startUnix.Set(start.Unix())
+
+	// The GC counters are cumulative in runtime terms but must be fed as
+	// deltas (Counter only goes up); the closure keeps the last-seen
+	// absolute values, serialized by mu against concurrent scrapes.
+	// onScrapeOnce guards double registration: a second closure starting
+	// from zero would re-add the full totals.
+	var mu sync.Mutex
+	var lastCycles, lastPause uint64
+	r.onScrapeOnce("process", func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mu.Lock()
+		defer mu.Unlock()
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapInuse.Set(int64(ms.HeapInuse))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		sysBytes.Set(int64(ms.Sys))
+		gcCycles.Add(int64(uint64(ms.NumGC) - lastCycles))
+		lastCycles = uint64(ms.NumGC)
+		gcPause.Add(int64(ms.PauseTotalNs - lastPause))
+		lastPause = ms.PauseTotalNs
+		uptime.Set(int64(time.Since(start).Seconds()))
+	})
+}

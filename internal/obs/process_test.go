@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterProcess(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcess(r)
+	runtime.GC() // guarantee at least one completed cycle
+
+	snap := r.Snapshot()
+	if g := snap.Gauges["alchemist_process_goroutines"]; g < 1 {
+		t.Errorf("goroutines = %d, want >= 1", g)
+	}
+	if g := snap.Gauges["alchemist_process_heap_inuse_bytes"]; g <= 0 {
+		t.Errorf("heap_inuse = %d, want > 0", g)
+	}
+	if c := snap.Counters["alchemist_process_gc_cycles_total"]; c < 1 {
+		t.Errorf("gc_cycles = %d, want >= 1", c)
+	}
+	if g := snap.Gauges["alchemist_process_start_time_unix"]; g <= 0 {
+		t.Errorf("start_time_unix = %d, want > 0", g)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"alchemist_process_goroutines",
+		"alchemist_process_heap_alloc_bytes",
+		"alchemist_process_gc_pause_ns_total",
+		"alchemist_process_uptime_seconds",
+	} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("prometheus output missing %s", name)
+		}
+	}
+}
+
+// Double registration must not double-count the cumulative GC deltas.
+func TestRegisterProcessIdempotent(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcess(r)
+	RegisterProcess(r)
+	runtime.GC()
+	first := r.Snapshot().Counters["alchemist_process_gc_cycles_total"]
+	second := r.Snapshot().Counters["alchemist_process_gc_cycles_total"]
+	if second != first {
+		t.Errorf("gc_cycles moved %d -> %d across back-to-back scrapes without GC activity", first, second)
+	}
+}
+
+func TestRegisterProcessConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcess(r)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOnScrapeReplaces(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hook_val", "")
+	r.OnScrape("h", func() { g.Set(1) })
+	r.OnScrape("h", func() { g.Set(2) })
+	if v := r.Snapshot().Gauges["hook_val"]; v != 2 {
+		t.Errorf("hook_val = %d, want 2 (replaced hook)", v)
+	}
+}
+
+func TestProgressAllocJob(t *testing.T) {
+	var p Progress
+	p.Update(0, 10) // explicit index in use
+	a := p.AllocJob()
+	b := p.AllocJob()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("AllocJob ids = %d, %d; want distinct, skipping taken index 0", a, b)
+	}
+	snap := p.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d jobs, want 3 (allocated jobs register at zero steps)", len(snap))
+	}
+	var nilP *Progress
+	if nilP.AllocJob() != 0 {
+		t.Error("nil Progress AllocJob should be 0")
+	}
+}

@@ -21,7 +21,32 @@ type JobProgress struct {
 type Progress struct {
 	mu      sync.Mutex
 	jobs    map[int]*JobProgress
+	next    int
 	updates int64
+}
+
+// AllocJob reserves a fresh job index and registers it at zero steps, so
+// independent reporters can share one Progress without coordinating ids.
+// Indices chosen explicitly via Update/MarkDone are skipped over.
+func (p *Progress) AllocJob() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.jobs == nil {
+		p.jobs = make(map[int]*JobProgress)
+	}
+	for {
+		if _, taken := p.jobs[p.next]; !taken {
+			break
+		}
+		p.next++
+	}
+	id := p.next
+	p.next++
+	p.jobs[id] = &JobProgress{Job: id}
+	return id
 }
 
 // Update records the latest step count for a job. Reports are expected

@@ -1,0 +1,659 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"alchemist"
+	"alchemist/internal/progs"
+	"alchemist/internal/report"
+)
+
+// SourceSpec names the program and input suite a request operates on:
+// either inline mini-C source (with optional explicit input streams) or
+// an embedded workload (with optional input scales). One profiling /
+// run job is created per input stream or scale; with neither, a single
+// job with the default input.
+type SourceSpec struct {
+	// Name labels inline source in diagnostics (default "request.mc").
+	Name string `json:"name,omitempty"`
+	// Source is inline mini-C source text.
+	Source string `json:"source,omitempty"`
+	// Workload selects an embedded workload instead (see GET /healthz
+	// or `alchemist list` for names). Exactly one of Source / Workload
+	// must be set.
+	Workload string `json:"workload,omitempty"`
+	// Inputs are explicit input streams, one batch job per stream
+	// (inline source only).
+	Inputs [][]int64 `json:"inputs,omitempty"`
+	// Scales are workload input scales, one batch job per scale
+	// (0 = the paper default; workloads only).
+	Scales []int `json:"scales,omitempty"`
+	// Optimize compiles with the optimization passes.
+	Optimize bool `json:"optimize,omitempty"`
+	// MemWords overrides the VM memory size (inline source only;
+	// workloads bring their own).
+	MemWords int64 `json:"mem_words,omitempty"`
+}
+
+// resolve turns the spec into a compile unit plus one ProfileJob per
+// input. All failures are user errors.
+func (sp SourceSpec) resolve() (name, src string, jobs []alchemist.ProfileJob, memWords int64, err error) {
+	switch {
+	case sp.Workload != "" && sp.Source != "":
+		return "", "", nil, 0, errors.New("request has both source and workload; pick one")
+	case sp.Workload != "":
+		if len(sp.Inputs) > 0 {
+			return "", "", nil, 0, errors.New("inputs apply to inline source; use scales with a workload")
+		}
+		w, werr := progs.ByName(sp.Workload)
+		if werr != nil {
+			return "", "", nil, 0, werr
+		}
+		scales := sp.Scales
+		if len(scales) == 0 {
+			scales = []int{0}
+		}
+		for _, sc := range scales {
+			jobs = append(jobs, alchemist.ProfileJob{Input: w.InputFor(sc)})
+		}
+		return w.Name + ".mc", w.Source, jobs, w.MemWords, nil
+	case sp.Source != "":
+		if len(sp.Scales) > 0 {
+			return "", "", nil, 0, errors.New("scales apply to workloads; use inputs with inline source")
+		}
+		name = sp.Name
+		if name == "" {
+			name = "request.mc"
+		}
+		inputs := sp.Inputs
+		if len(inputs) == 0 {
+			inputs = [][]int64{nil}
+		}
+		for _, in := range inputs {
+			jobs = append(jobs, alchemist.ProfileJob{Input: in})
+		}
+		return name, sp.Source, jobs, sp.MemWords, nil
+	default:
+		return "", "", nil, 0, errors.New("request needs source or workload")
+	}
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	Name     string `json:"name,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+}
+
+// CompileResponse reports the compiled program's shape. Compiling
+// through the API warms the engine's program cache, so a later profile
+// of the same source skips the pipeline.
+type CompileResponse struct {
+	Name         string `json:"name"`
+	Functions    int    `json:"functions"`
+	Instructions int    `json:"instructions"`
+}
+
+// ProfileRequest is the body of POST /v1/profile and the payload of
+// "profile"/"advise" jobs.
+type ProfileRequest struct {
+	SourceSpec
+	// TimeoutMS bounds the work's wall-clock time (default: the
+	// server's DefaultTimeout, clamped to MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Top truncates the response to the N hottest constructs (0 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// RunSummary is one batch job's execution outcome.
+type RunSummary struct {
+	Job   int   `json:"job"`
+	Steps int64 `json:"steps"`
+	Ret   int64 `json:"ret"`
+	// Output holds up to 64 words of out() output; OutputLen is the
+	// full length.
+	Output    []int64 `json:"output,omitempty"`
+	OutputLen int     `json:"output_len"`
+}
+
+// ProfileResponse carries the union profile over the input suite.
+type ProfileResponse struct {
+	Name    string              `json:"name"`
+	Jobs    int                 `json:"jobs"`
+	Profile *report.JSONProfile `json:"profile"`
+	Runs    []RunSummary        `json:"runs"`
+}
+
+// AdviceItem is one transformation suggestion.
+type AdviceItem struct {
+	Action string `json:"action"`
+	Text   string `json:"text"`
+}
+
+// AdviceJSON is the advisor's judgment of one construct.
+type AdviceJSON struct {
+	Label          int          `json:"label"`
+	Name           string       `json:"name"`
+	Kind           string       `json:"kind"`
+	Line           int          `json:"line"`
+	Func           string       `json:"func"`
+	Parallelizable bool         `json:"parallelizable"`
+	Score          float64      `json:"score"`
+	Advice         []AdviceItem `json:"advice"`
+}
+
+// AdviseResponse is the ranked guidance for the profiled suite.
+type AdviseResponse struct {
+	Name    string       `json:"name"`
+	Jobs    int          `json:"jobs"`
+	Reports []AdviceJSON `json:"reports"`
+}
+
+// RunRequest is the body of POST /v1/run and the payload of "run" jobs.
+type RunRequest struct {
+	SourceSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallel executes spawn statements on goroutines.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+// RunResponse carries the per-job execution outcomes.
+type RunResponse struct {
+	Name string       `json:"name"`
+	Jobs int          `json:"jobs"`
+	Runs []RunSummary `json:"runs"`
+}
+
+// JobRequest is the body of POST /v1/jobs: the union of the sync
+// request shapes plus the kind discriminator.
+type JobRequest struct {
+	// Kind selects the work: "profile", "advise", or "run".
+	Kind string `json:"kind"`
+	SourceSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Top       int   `json:"top,omitempty"`
+	Parallel  bool  `json:"parallel,omitempty"`
+}
+
+// progressSink receives batch-job step reports; nil discards them.
+type progressSink func(batchJob int, steps int64)
+
+// ---------- sync handlers ----------
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	name, src := req.Name, req.Source
+	if req.Workload != "" {
+		if req.Source != "" {
+			httpError(w, http.StatusBadRequest, "request has both source and workload; pick one")
+			return
+		}
+		wl, err := progs.ByName(req.Workload)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		name, src = wl.Name+".mc", wl.Source
+	} else if src == "" {
+		httpError(w, http.StatusBadRequest, "request needs source or workload")
+		return
+	}
+	if name == "" {
+		name = "request.mc"
+	}
+	prog, err := s.eng.CompileWith(r.Context(), name, src,
+		alchemist.CompileOptions{Optimize: req.Optimize})
+	if err != nil {
+		s.writeExecError(w, userErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Name:         name,
+		Functions:    len(prog.IR().Funcs),
+		Instructions: prog.IR().NumPCs,
+	})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	release, ok := s.tryAdmit()
+	if !ok {
+		s.writeBusy(w)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	resp, err := s.profile(ctx, req, nil)
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	release, ok := s.tryAdmit()
+	if !ok {
+		s.writeBusy(w)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	resp, err := s.advise(ctx, req, nil)
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	release, ok := s.tryAdmit()
+	if !ok {
+		s.writeBusy(w)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	resp, err := s.run(ctx, req, nil)
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------- work execution (shared by sync handlers and async jobs) ----------
+
+// profile compiles and profiles the request's input suite on the shared
+// engine, reporting per-batch-job progress into sink.
+func (s *Server) profile(ctx context.Context, req ProfileRequest, sink progressSink) (*ProfileResponse, error) {
+	name, src, pjobs, memWords, err := req.resolve()
+	if err != nil {
+		return nil, userErr(err)
+	}
+	prog, err := s.eng.CompileWith(ctx, name, src,
+		alchemist.CompileOptions{Optimize: req.Optimize})
+	if err != nil {
+		return nil, userErr(err)
+	}
+	for i := range pjobs {
+		pjobs[i].Config = &alchemist.ProfileConfig{
+			RunConfig: alchemist.RunConfig{MemWords: memWords},
+		}
+		if sink != nil {
+			i := i
+			pjobs[i].OnProgress = func(steps int64) { sink(i, steps) }
+		}
+	}
+	merged, results, err := s.eng.ProfileBatch(ctx, prog, pjobs)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ProfileResponse{
+		Name:    name,
+		Jobs:    len(pjobs),
+		Profile: report.ToJSON(merged),
+	}
+	if req.Top > 0 && len(resp.Profile.Constructs) > req.Top {
+		resp.Profile.Constructs = resp.Profile.Constructs[:req.Top]
+	}
+	for _, res := range results {
+		resp.Runs = append(resp.Runs, summarize(res.Job, res.Run))
+	}
+	return resp, nil
+}
+
+// advise is profile plus the advisor pass.
+func (s *Server) advise(ctx context.Context, req ProfileRequest, sink progressSink) (*AdviseResponse, error) {
+	name, src, pjobs, memWords, err := req.resolve()
+	if err != nil {
+		return nil, userErr(err)
+	}
+	prog, err := s.eng.CompileWith(ctx, name, src,
+		alchemist.CompileOptions{Optimize: req.Optimize})
+	if err != nil {
+		return nil, userErr(err)
+	}
+	for i := range pjobs {
+		pjobs[i].Config = &alchemist.ProfileConfig{
+			RunConfig: alchemist.RunConfig{MemWords: memWords},
+		}
+		if sink != nil {
+			i := i
+			pjobs[i].OnProgress = func(steps int64) { sink(i, steps) }
+		}
+	}
+	merged, _, err := s.eng.ProfileBatch(ctx, prog, pjobs)
+	if err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 8
+	}
+	resp := &AdviseResponse{Name: name, Jobs: len(pjobs)}
+	for _, rep := range alchemist.Advise(merged) {
+		if len(resp.Reports) >= top {
+			break
+		}
+		aj := AdviceJSON{
+			Label:          rep.Construct.Label,
+			Name:           report.ConstructName(rep.Construct),
+			Kind:           rep.Construct.Kind.String(),
+			Line:           rep.Construct.Pos.Line,
+			Func:           rep.Construct.FuncName,
+			Parallelizable: rep.Parallelizable,
+			Score:          rep.Score,
+		}
+		for _, a := range rep.Advices {
+			aj.Advice = append(aj.Advice, AdviceItem{Action: a.Action.String(), Text: a.Text})
+		}
+		resp.Reports = append(resp.Reports, aj)
+	}
+	return resp, nil
+}
+
+// run executes the request's input suite uninstrumented via the
+// engine's RunBatch fan-out.
+func (s *Server) run(ctx context.Context, req RunRequest, sink progressSink) (*RunResponse, error) {
+	name, src, pjobs, memWords, err := req.resolve()
+	if err != nil {
+		return nil, userErr(err)
+	}
+	prog, err := s.eng.CompileWith(ctx, name, src,
+		alchemist.CompileOptions{Optimize: req.Optimize})
+	if err != nil {
+		return nil, userErr(err)
+	}
+	rjobs := make([]alchemist.RunJob, len(pjobs))
+	for i, pj := range pjobs {
+		rjobs[i] = alchemist.RunJob{
+			Input:  pj.Input,
+			Config: &alchemist.RunConfig{MemWords: memWords, Parallel: req.Parallel},
+		}
+		if sink != nil {
+			i := i
+			rjobs[i].OnProgress = func(steps int64) { sink(i, steps) }
+		}
+	}
+	results, err := s.eng.RunBatch(ctx, prog, rjobs)
+	if err != nil {
+		return nil, err
+	}
+	resp := &RunResponse{Name: name, Jobs: len(rjobs)}
+	for _, res := range results {
+		resp.Runs = append(resp.Runs, summarize(res.Job, res.Run))
+	}
+	return resp, nil
+}
+
+// summarize converts one run result to its wire form, capping output.
+func summarize(jobIdx int, res *alchemist.RunResult) RunSummary {
+	sum := RunSummary{Job: jobIdx}
+	if res == nil {
+		return sum
+	}
+	sum.Steps = res.Steps
+	sum.Ret = res.Ret
+	sum.OutputLen = len(res.Output)
+	out := res.Output
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	sum.Output = out
+	return sum
+}
+
+// ---------- async jobs ----------
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		return
+	}
+	var req JobRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	switch req.Kind {
+	case "profile", "advise", "run":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown job kind %q (want profile, advise, or run)", req.Kind)
+		return
+	}
+	// Validate the source before paying for an admission slot, so typos
+	// fail fast with 400 rather than occupying the queue.
+	if _, _, _, _, err := req.resolve(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.tryAdmit()
+	if !ok {
+		s.writeBusy(w)
+		return
+	}
+	j := newJob(req.Kind)
+	s.store.put(j)
+	s.sm.jobsCreated.Inc()
+	s.sm.jobsActive.Add(1)
+	s.startJob(j, req, release)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// startJob runs the job on its own goroutine, holding the admission
+// slot until it finishes. The job's deadline hangs off the server's
+// lifetime context, not the creating request: the client can disconnect
+// and poll later.
+func (s *Server) startJob(j *job, req JobRequest, release func()) {
+	ctx, cancel := context.WithTimeout(s.lifeCtx, s.timeoutFor(req.TimeoutMS))
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	sink := func(batchJob int, steps int64) {
+		j.reportProgress(batchJob, steps, s.opts.ProgressInterval)
+	}
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		defer release()
+		defer cancel()
+		j.setRunning()
+		var result any
+		var err error
+		switch j.kind {
+		case "profile":
+			result, err = s.profile(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
+		case "advise":
+			result, err = s.advise(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
+		case "run":
+			result, err = s.run(ctx, RunRequest{SourceSpec: req.SourceSpec, Parallel: req.Parallel}, sink)
+		}
+		j.finish(result, err)
+		s.sm.jobsActive.Add(-1)
+	}()
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleJobEvents streams the job's event log as Server-Sent Events:
+// every past event is replayed in order, then live events as they
+// happen, ending after the terminal state event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	s.sm.sseStreams.Inc()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// A client disconnect must unblock waitEvents.
+	stop := context.AfterFunc(r.Context(), j.wake)
+	defer stop()
+
+	next := 0
+	for {
+		evs, done := j.waitEvents(r.Context(), next)
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, ev := range evs {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		next += len(evs)
+		if done {
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.isDraining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status    string   `json:"status"`
+		Workers   int      `json:"workers"`
+		Queue     int      `json:"queue_capacity"`
+		Workloads []string `json:"workloads"`
+	}{
+		Status:  state,
+		Workers: s.eng.Workers(),
+		Queue:   s.opts.QueueDepth,
+		Workloads: func() []string {
+			var names []string
+			for _, wl := range progs.All() {
+				names = append(names, wl.Name)
+			}
+			return names
+		}(),
+	})
+}
+
+// ---------- error mapping ----------
+
+// writeBusy answers 429 with the Retry-After backoff hint.
+func (s *Server) writeBusy(w http.ResponseWriter) {
+	secs := int(s.opts.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusTooManyRequests,
+		"admission queue full (%d slots); retry after %ds", s.opts.QueueDepth, secs)
+}
+
+// writeDecodeError maps body-parse failures: 413 for oversized bodies,
+// 400 otherwise.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	if isMaxBytes(err) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", s.opts.MaxBodyBytes)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
+// writeExecError maps work failures onto statuses: 400 for user errors
+// (bad source), 504 for deadline expiry, 503 for cancellation (server
+// shutdown), 500 otherwise.
+func (s *Server) writeExecError(w http.ResponseWriter, err error) {
+	var ue *userError
+	switch {
+	case errors.As(err, &ue):
+		httpError(w, http.StatusBadRequest, "%v", ue.err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// writeSSE writes one event in text/event-stream framing. The event
+// type doubles as the SSE event name so EventSource listeners can
+// subscribe per type; the JSON payload repeats it for plain readers.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := encodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	return err
+}

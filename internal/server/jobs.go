@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"alchemist/internal/obs"
+)
+
+// JobState is the lifecycle of an async job. Transitions are strictly
+// queued → running → (succeeded | failed); failed covers errors,
+// deadline expiry, and cancellation.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+)
+
+func (st JobState) terminal() bool { return st == JobSucceeded || st == JobFailed }
+
+// Event is one entry in a job's ordered event log, streamed to SSE
+// subscribers and replayed to late ones. Seq increases by one per event
+// within a job.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state" or "progress"
+	// State is set on "state" events.
+	State JobState `json:"state,omitempty"`
+	// Error carries the failure message on the terminal "failed" event.
+	Error string `json:"error,omitempty"`
+	// Job, Steps, and TotalSteps are set on "progress" events: the
+	// batch-job index that reported, its executed-step count, and the
+	// step total across every batch job so far.
+	Job        int   `json:"job,omitempty"`
+	Steps      int64 `json:"steps,omitempty"`
+	TotalSteps int64 `json:"total_steps,omitempty"`
+}
+
+// encodeEvent renders one event as its single-line SSE data payload.
+func encodeEvent(ev Event) ([]byte, error) {
+	return json.Marshal(ev)
+}
+
+// job is one async unit of work: its state machine, progress aggregate,
+// event log, and result.
+type job struct {
+	id      string
+	kind    string
+	created time.Time
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state    JobState
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	result   any
+
+	events          []Event
+	progress        obs.Progress
+	lastProgressPub time.Time
+
+	cancel context.CancelFunc
+}
+
+func newJob(kind string) *job {
+	j := &job{
+		id:      newJobID(),
+		kind:    kind,
+		created: time.Now(),
+		state:   JobQueued,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.publishLocked(Event{Type: "state", State: JobQueued})
+	return j
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero id
+		// would still be unique enough not to matter for an in-memory
+		// store, so don't take the server down over it.
+		return "job-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// publishLocked appends one event and wakes subscribers. Callers hold
+// j.mu.
+func (j *job) publishLocked(ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+}
+
+// wake re-checks every subscriber's wait condition; used to unblock
+// streams whose client context ended.
+func (j *job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.publishLocked(Event{Type: "state", State: JobRunning})
+}
+
+// finish records the terminal state, result, and final progress
+// snapshot, and publishes the terminal event.
+func (j *job) finish(result any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	for _, jp := range j.progress.Snapshot() {
+		j.progress.MarkDone(jp.Job)
+	}
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.publishLocked(Event{Type: "state", State: JobFailed, Error: j.errMsg})
+		return
+	}
+	j.state = JobSucceeded
+	j.result = result
+	j.publishLocked(Event{Type: "state", State: JobSucceeded})
+}
+
+// reportProgress feeds one batch job's step report into the progress
+// aggregate and, rate-limited by minGap, into the event log. Negative
+// minGap publishes every report.
+func (j *job) reportProgress(batchJob int, steps int64, minGap time.Duration) {
+	j.progress.Update(batchJob, steps)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		// A worker's final report can race the terminal event; the
+		// event log must not grow after it.
+		return
+	}
+	now := time.Now()
+	if minGap > 0 && now.Sub(j.lastProgressPub) < minGap {
+		return
+	}
+	j.lastProgressPub = now
+	j.publishLocked(Event{
+		Type:       "progress",
+		Job:        batchJob,
+		Steps:      steps,
+		TotalSteps: j.progress.TotalSteps(),
+	})
+}
+
+// waitEvents blocks until the log grows past `after`, the job reaches a
+// terminal state, or ctx ends. It returns the new events and whether
+// the returned slice completes the log of a terminated job (the stream
+// can end).
+func (j *job) waitEvents(ctx context.Context, after int) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= after && !j.state.terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	evs := append([]Event(nil), j.events[after:]...)
+	return evs, j.state.terminal() && after+len(evs) == len(j.events)
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID         string            `json:"id"`
+	Kind       string            `json:"kind"`
+	State      JobState          `json:"state"`
+	CreatedAt  time.Time         `json:"created_at"`
+	StartedAt  *time.Time        `json:"started_at,omitempty"`
+	FinishedAt *time.Time        `json:"finished_at,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	Progress   []obs.JobProgress `json:"progress,omitempty"`
+	TotalSteps int64             `json:"total_steps"`
+	Result     any               `json:"result,omitempty"`
+}
+
+// status snapshots the job. withResult controls whether the (possibly
+// large) result payload is included.
+func (j *job) status(withResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		CreatedAt:  j.created,
+		Error:      j.errMsg,
+		Progress:   j.progress.Snapshot(),
+		TotalSteps: j.progress.TotalSteps(),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if withResult && j.state == JobSucceeded {
+		st.Result = j.result
+	}
+	return st
+}
+
+// expired reports whether the job finished more than ttl ago.
+func (j *job) expired(now time.Time, ttl time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal() && now.Sub(j.finished) > ttl
+}
+
+func (j *job) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal()
+}
+
+// jobStore is the in-memory job index with TTL-based retirement and a
+// hard capacity.
+type jobStore struct {
+	ttl time.Duration
+	max int
+	sm  *serverMetrics
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job // creation order, for capacity eviction
+}
+
+func newJobStore(ttl time.Duration, max int, sm *serverMetrics) *jobStore {
+	return &jobStore{ttl: ttl, max: max, sm: sm, jobs: make(map[string]*job)}
+}
+
+func (s *jobStore) put(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.sweep(time.Now())
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// list returns every stored job, oldest first.
+func (s *jobStore) list() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]*job(nil), s.order...)
+	sort.SliceStable(out, func(i, k int) bool { return out[i].created.Before(out[k].created) })
+	return out
+}
+
+// sweep retires finished jobs past their TTL and, when the store is
+// over capacity, the oldest finished jobs beyond it. Unfinished jobs
+// are never evicted — the admission queue bounds how many can exist.
+func (s *jobStore) sweep(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.order[:0]
+	overflow := len(s.order) - s.max
+	for _, j := range s.order {
+		evict := j.expired(now, s.ttl)
+		if !evict && overflow > 0 && j.isTerminal() {
+			evict = true
+		}
+		if evict {
+			if overflow > 0 {
+				overflow-- // any eviction shrinks the store
+			}
+			delete(s.jobs, j.id)
+			s.sm.jobsRetired.Inc()
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter records the response status and size for the access log
+// and error counters, and forwards Flush so SSE streaming works through
+// the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps one route handler with the server middleware stack:
+// request counters, per-route latency, body-size limiting, panic
+// isolation, and access logging. A panicking handler is reported as 500
+// without taking down the server or its sibling requests.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.sm.latency[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.sm.requests.Inc()
+		s.sm.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.sm.panics.Inc()
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						apiError{Error: fmt.Sprintf("internal error: %v", v)})
+				}
+				s.logAccess(r, sw, time.Since(start))
+				// The stack goes to the access log sink if there is
+				// one; the request itself only sees the opaque 500.
+				if s.opts.AccessLog != nil {
+					s.logMu.Lock()
+					fmt.Fprintf(s.opts.AccessLog, "panic in %s %s: %v\n%s",
+						r.Method, r.URL.Path, v, debug.Stack())
+					s.logMu.Unlock()
+				}
+				s.sm.inflight.Add(-1)
+				hist.Observe(time.Since(start).Seconds())
+				return
+			}
+			if sw.code >= 400 {
+				s.sm.errors.Inc()
+			}
+			s.logAccess(r, sw, time.Since(start))
+			s.sm.inflight.Add(-1)
+			hist.Observe(time.Since(start).Seconds())
+		}()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		}
+		h(sw, r)
+	}
+}
+
+// logAccess emits one structured access-log line.
+func (s *Server) logAccess(r *http.Request, sw *statusWriter, d time.Duration) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	code := sw.code
+	if !sw.wrote {
+		code = http.StatusOK
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.opts.AccessLog, "%s method=%s path=%s status=%d bytes=%d dur=%s\n",
+		time.Now().UTC().Format(time.RFC3339), r.Method, r.URL.Path, code, sw.bytes, d)
+	s.logMu.Unlock()
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes the uniform error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses the request body into v, rejecting unknown fields
+// so typos fail loudly instead of profiling the wrong thing.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// userError marks failures caused by the request itself (unresolvable
+// source, compile errors), mapped to 400 rather than 500.
+type userError struct{ err error }
+
+func (e *userError) Error() string { return e.err.Error() }
+func (e *userError) Unwrap() error { return e.err }
+
+func userErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &userError{err: err}
+}
+
+// isMaxBytes reports whether err came from the request-size limiter.
+func isMaxBytes(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

@@ -1,0 +1,415 @@
+// Package server exposes an alchemist Engine as a JSON-over-HTTP
+// profiling service: synchronous compile/profile/advise endpoints, an
+// async job queue with live progress streaming over SSE, explicit
+// backpressure, and full observability on the engine's own registry.
+//
+//	POST   /v1/compile          compile a program (warms the engine cache)
+//	POST   /v1/profile          profile an input suite, merged (sync)
+//	POST   /v1/advise           profile + transformation guidance (sync)
+//	POST   /v1/run              execute an input suite (sync)
+//	POST   /v1/jobs             submit an async profile/advise/run job
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        job status, progress, and result
+//	DELETE /v1/jobs/{id}        cancel a running job
+//	GET    /v1/jobs/{id}/events per-step progress stream (SSE)
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text format (plus
+//	       /metrics.json and /debug/pprof/ via the obs handler)
+//
+// One Server fronts one shared Engine. Work is admitted through a
+// bounded queue: when every slot is occupied by a queued-or-running
+// request the server answers 429 with a Retry-After header instead of
+// queueing unboundedly. Every admitted unit of work runs under a
+// per-job deadline mapped onto the engine's context plumbing, so a
+// stuck program is reclaimed within one VM step-check window of the
+// deadline. Finished async jobs are retired from the in-memory store
+// after a TTL. Shutdown drains: in-flight jobs run to completion (until
+// the drain context expires, which aborts them) while new submissions
+// are refused.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"alchemist"
+	"alchemist/internal/obs"
+)
+
+// Options configures a Server. The zero value of every field selects a
+// production-safe default; only Engine is required.
+type Options struct {
+	// Engine is the shared engine all handlers profile against. It must
+	// be non-nil; the Engine is safe for concurrent use, so one engine
+	// serves every connection.
+	Engine *alchemist.Engine
+
+	// Registry receives the server's metrics. Defaults to
+	// Engine.Metrics() so the whole stack — VM, profiler, engine,
+	// server — lands behind one /metrics endpoint.
+	Registry *obs.Registry
+
+	// QueueDepth bounds admitted-but-unfinished units of work (sync
+	// profile/advise/run requests plus async jobs). When the queue is
+	// full new work is refused with 429 + Retry-After. Default
+	// 4*Engine.Workers().
+	QueueDepth int
+
+	// RetryAfter is the client backoff hint attached to 429 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+
+	// MaxBodyBytes caps request bodies; larger requests fail with 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+
+	// DefaultTimeout is the per-job deadline applied when a request
+	// does not carry its own timeout_ms. Default 1m.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout clamps request-supplied deadlines. Default 10m.
+	MaxTimeout time.Duration
+
+	// JobTTL retires finished async jobs from the in-memory store this
+	// long after completion. Default 15m.
+	JobTTL time.Duration
+
+	// MaxJobs caps the job store; the oldest finished jobs are retired
+	// first when it overflows. Default 1024.
+	MaxJobs int
+
+	// ProgressInterval throttles SSE progress events per job: reports
+	// arriving closer together than this are coalesced (the underlying
+	// obs.Progress still sees every report). 0 means the 100ms default;
+	// negative publishes every report (tests).
+	ProgressInterval time.Duration
+
+	// AccessLog receives one structured line per request. Nil disables
+	// access logging.
+	AccessLog io.Writer
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Engine == nil {
+		return o, errors.New("server: Options.Engine is required")
+	}
+	if o.Registry == nil {
+		o.Registry = o.Engine.Metrics()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Engine.Workers()
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.JobTTL <= 0 {
+		o.JobTTL = 15 * time.Minute
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.ProgressInterval == 0 {
+		o.ProgressInterval = 100 * time.Millisecond
+	}
+	return o, nil
+}
+
+// serverMetrics is the server's pre-resolved instrument set.
+type serverMetrics struct {
+	requests   *obs.Counter
+	errors     *obs.Counter
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	rejects    *obs.Counter
+	panics     *obs.Counter
+
+	jobsCreated *obs.Counter
+	jobsActive  *obs.Gauge
+	jobsRetired *obs.Counter
+	sseStreams  *obs.Counter
+
+	latency map[string]*obs.Histogram
+}
+
+// routes names every instrumented endpoint; each gets its own latency
+// histogram (the registry has no labels, so the route is part of the
+// metric name).
+var routes = []string{
+	"compile", "profile", "advise", "run",
+	"jobs_create", "jobs_list", "job_get", "job_cancel", "job_events",
+	"health",
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	sm := &serverMetrics{
+		requests: r.Counter("alchemist_server_requests_total",
+			"HTTP API requests received."),
+		errors: r.Counter("alchemist_server_request_errors_total",
+			"HTTP API requests answered with a 4xx or 5xx status."),
+		inflight: r.Gauge("alchemist_server_inflight_requests",
+			"HTTP API requests currently being handled."),
+		queueDepth: r.Gauge("alchemist_server_queue_depth",
+			"Admitted units of work (sync requests + async jobs) not yet finished."),
+		rejects: r.Counter("alchemist_server_admission_rejects_total",
+			"Requests refused with 429 because the admission queue was full."),
+		panics: r.Counter("alchemist_server_panics_total",
+			"Handler panics recovered by the middleware."),
+		jobsCreated: r.Counter("alchemist_server_jobs_created_total",
+			"Async jobs accepted."),
+		jobsActive: r.Gauge("alchemist_server_jobs_active",
+			"Async jobs currently queued or running."),
+		jobsRetired: r.Counter("alchemist_server_jobs_retired_total",
+			"Finished async jobs dropped from the store (TTL or capacity)."),
+		sseStreams: r.Counter("alchemist_server_sse_streams_total",
+			"Job event streams opened."),
+		latency: make(map[string]*obs.Histogram, len(routes)),
+	}
+	for _, route := range routes {
+		sm.latency[route] = r.Histogram(
+			"alchemist_server_request_seconds_"+route,
+			fmt.Sprintf("Wall-clock latency of the %s endpoint.", route), nil)
+	}
+	return sm
+}
+
+// Server is the profiling-as-a-service front end. Construct it with
+// New, serve it via Handler (any http.Server) or Start (own listener),
+// and stop it with Shutdown (graceful drain) or Close (abort).
+type Server struct {
+	opts  Options
+	eng   *alchemist.Engine
+	reg   *obs.Registry
+	sm    *serverMetrics
+	admit chan struct{}
+	store *jobStore
+	h     http.Handler
+
+	// lifeCtx outlives every request; cancelling it aborts all async
+	// jobs and the janitor.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+
+	// jobWG tracks async job goroutines for shutdown draining.
+	jobWG sync.WaitGroup
+
+	logMu sync.Mutex
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a Server from opts and starts its background job janitor.
+// Call Close (or Shutdown) to release it.
+func New(opts Options) (*Server, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		eng:   opts.Engine,
+		reg:   opts.Registry,
+		sm:    newServerMetrics(opts.Registry),
+		admit: make(chan struct{}, opts.QueueDepth),
+	}
+	s.store = newJobStore(opts.JobTTL, opts.MaxJobs, s.sm)
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+	obs.RegisterProcess(s.reg)
+	s.h = s.buildHandler()
+	go s.janitor()
+	return s, nil
+}
+
+// buildHandler assembles the route table with per-route
+// instrumentation and mounts the obs endpoints on the same mux.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.handleProfile))
+	mux.HandleFunc("POST /v1/advise", s.instrument("advise", s.handleAdvise))
+	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_create", s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	mux.HandleFunc("GET /healthz", s.instrument("health", s.handleHealth))
+	oh := obs.Handler(s.reg)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/metrics.json", oh)
+	mux.Handle("/debug/pprof/", oh)
+	return mux
+}
+
+// Handler returns the fully middleware-wrapped API handler, for
+// mounting on an external http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.h }
+
+// Metrics returns the registry the server (and its engine) report into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.h, ReadHeaderTimeout: 10 * time.Second}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// URL returns the base http:// URL of the started server.
+func (s *Server) URL() string {
+	if a := s.Addr(); a != nil {
+		return "http://" + a.String()
+	}
+	return ""
+}
+
+// Shutdown gracefully drains the server: new job submissions are
+// refused with 503, the listener stops accepting, and in-flight async
+// jobs run to completion. If ctx expires first the remaining jobs are
+// aborted (each observes cancellation within one VM step-check window)
+// and ctx.Err() is returned after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+
+	// Stop accepting and wait for active connections concurrently with
+	// the job drain: SSE streams attached to running jobs stay open
+	// until those jobs finish.
+	shutRes := make(chan error, 1)
+	if httpSrv != nil {
+		go func() { shutRes <- httpSrv.Shutdown(ctx) }()
+	} else {
+		shutRes <- nil
+	}
+
+	jobsDone := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(jobsDone) }()
+
+	var drainErr error
+	select {
+	case <-jobsDone:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.lifeCancel() // abort remaining jobs
+		<-jobsDone
+	}
+	httpErr := <-shutRes
+	s.lifeCancel() // stop the janitor
+	if drainErr != nil {
+		return fmt.Errorf("server: drain aborted: %w", drainErr)
+	}
+	return httpErr
+}
+
+// Close abandons everything immediately: running jobs are cancelled and
+// open connections closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+	s.lifeCancel()
+	var err error
+	if httpSrv != nil {
+		err = httpSrv.Close()
+	}
+	s.jobWG.Wait()
+	return err
+}
+
+// janitor retires expired jobs in the background until the server dies.
+func (s *Server) janitor() {
+	period := s.opts.JobTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.lifeCtx.Done():
+			return
+		case now := <-t.C:
+			s.store.sweep(now)
+		}
+	}
+}
+
+// tryAdmit claims one admission-queue slot without blocking. The
+// release function is idempotent. A false return means the queue is
+// saturated and the caller must answer 429.
+func (s *Server) tryAdmit() (release func(), ok bool) {
+	select {
+	case s.admit <- struct{}{}:
+		s.sm.queueDepth.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-s.admit
+				s.sm.queueDepth.Add(-1)
+			})
+		}, true
+	default:
+		s.sm.rejects.Inc()
+		return nil, false
+	}
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// timeoutFor clamps a request-supplied deadline to the configured
+// bounds.
+func (s *Server) timeoutFor(timeoutMS int64) time.Duration {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d
+}
