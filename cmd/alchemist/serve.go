@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"alchemist"
+	"alchemist/internal/journal"
 	"alchemist/internal/server"
 )
 
@@ -31,7 +32,16 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window; jobs still running after it are aborted")
 	quiet := fs.Bool("quiet", false, "disable per-request access logging")
+	dataDir := fs.String("data-dir", "", "journal job state under this directory so jobs survive restarts (empty = in-memory only)")
+	fsync := fs.String("fsync", "interval", "journal fsync policy: always, interval, or none")
+	snapshotEvery := fs.Int64("snapshot-every", 4096, "compact the journal after this many records (negative disables)")
+	requeue := fs.Bool("requeue-on-recovery", false, "re-enqueue jobs that were queued or running at crash time instead of marking them interrupted")
 	fs.Parse(args)
+
+	syncMode, err := journal.ParseSyncMode(*fsync)
+	if err != nil {
+		return err
+	}
 
 	eng := alchemist.NewEngine(
 		alchemist.WithWorkers(*workers),
@@ -42,16 +52,26 @@ func cmdServe(args []string) error {
 		accessLog = nil
 	}
 	srv, err := server.New(server.Options{
-		Engine:         eng,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		JobTTL:         *jobTTL,
-		MaxBodyBytes:   *maxBody,
-		AccessLog:      accessLog,
+		Engine:            eng,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		JobTTL:            *jobTTL,
+		MaxBodyBytes:      *maxBody,
+		AccessLog:         accessLog,
+		DataDir:           *dataDir,
+		Fsync:             syncMode,
+		SnapshotEvery:     *snapshotEvery,
+		RequeueOnRecovery: *requeue,
 	})
 	if err != nil {
 		return err
+	}
+	if rec := srv.Recovery(); rec.Durable {
+		// The recovery line goes to stdout with the listen line: restart
+		// scripts (and the CI smoke test) scrape it.
+		fmt.Printf("serve: journal recovered %d jobs (%d interrupted, %d requeued, %d torn bytes dropped)\n",
+			rec.Jobs, rec.Interrupted, rec.Requeued, rec.TruncatedBytes)
 	}
 	if err := srv.Start(*addr); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,8 +13,10 @@ import (
 )
 
 // startServe launches the built binary's serve command on a free port
-// and returns its base URL plus the running command.
-func startServe(t *testing.T, extra ...string) (string, *exec.Cmd) {
+// and returns its base URL, the running command, and the stdout banner
+// that preceded the listen line (the journal-recovery summary, when a
+// -data-dir is set, prints there).
+func startServe(t *testing.T, extra ...string) (string, *exec.Cmd, string) {
 	t.Helper()
 	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, extra...)
 	cmd := exec.Command(binary, args...)
@@ -30,31 +33,35 @@ func startServe(t *testing.T, extra ...string) (string, *exec.Cmd) {
 			cmd.Wait()
 		}
 	})
-	// The listen line is the first stdout line: "serve: listening on URL".
+	// Read stdout until the "serve: listening on URL" line shows up;
+	// banner lines (recovery summary) may precede it.
+	const prefix = "serve: listening on "
 	buf := make([]byte, 256)
-	line := ""
+	out := ""
 	deadline := time.Now().Add(10 * time.Second)
-	for !strings.Contains(line, "\n") {
-		if time.Now().After(deadline) {
-			t.Fatalf("no listen line from serve; got %q", line)
-		}
-		n, err := stdout.Read(buf)
-		line += string(buf[:n])
-		if err != nil {
+	for {
+		if idx := strings.Index(out, prefix); idx >= 0 && strings.Contains(out[idx:], "\n") {
 			break
 		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line from serve; got %q", out)
+		}
+		n, err := stdout.Read(buf)
+		out += string(buf[:n])
+		if err != nil && !strings.Contains(out, prefix) {
+			t.Fatalf("serve stdout ended early: %v (got %q)", err, out)
+		}
 	}
-	const prefix = "serve: listening on "
-	if !strings.HasPrefix(line, prefix) {
-		t.Fatalf("unexpected serve output %q", line)
-	}
-	url := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	idx := strings.Index(out, prefix)
+	banner := out[:idx]
+	rest := out[idx+len(prefix):]
+	url := strings.TrimSpace(rest[:strings.Index(rest, "\n")])
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
-	return url, cmd
+	return url, cmd, banner
 }
 
 func TestCLIServeProfileAndGracefulShutdown(t *testing.T) {
-	url, cmd := startServe(t)
+	url, cmd, _ := startServe(t)
 
 	resp, err := http.Post(url+"/v1/profile", "application/json",
 		strings.NewReader(`{"workload":"aes","scales":[1024],"top":3}`))
@@ -101,6 +108,112 @@ func TestCLIServeProfileAndGracefulShutdown(t *testing.T) {
 		cmd.Process.Kill()
 		t.Fatal("serve did not exit after SIGTERM")
 	}
+}
+
+// TestCLIServeCrashRecovery SIGKILLs a journal-backed serve process
+// mid-job and restarts it over the same data dir: the finished job comes
+// back with its result, the in-flight one comes back interrupted, and
+// the recovery summary line reports both.
+func TestCLIServeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	url, cmd, _ := startServe(t, "-data-dir", dir)
+
+	postJob := func(base, body string) serveJobStatus {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job create = %d: %s", resp.StatusCode, b)
+		}
+		var st serveJobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	getJob := func(base, id string) serveJobStatus {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job get = %d: %s", resp.StatusCode, b)
+		}
+		var st serveJobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// One quick job runs to completion...
+	quick := postJob(url, `{"kind":"run","source":"int main() { return 7; }"}`)
+	deadline := time.Now().Add(30 * time.Second)
+	for getJob(url, quick.ID).State != "succeeded" {
+		if time.Now().After(deadline) {
+			t.Fatal("quick job never succeeded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...and one effectively-infinite job is mid-flight at kill time.
+	hogSrc := `int main() { int s = 0; for (int i = 0; i < 1000000000; i++) { s += i; } return s % 2; }`
+	hog := postJob(url, fmt.Sprintf(`{"kind":"run","source":%q,"timeout_ms":60000}`, hogSrc))
+	for getJob(url, hog.ID).State != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("hog job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Hard kill: no drain, no journal close.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	url2, cmd2, banner := startServe(t, "-data-dir", dir)
+	if !strings.Contains(banner, "serve: journal recovered 2 jobs (1 interrupted") {
+		t.Errorf("recovery banner = %q", banner)
+	}
+	if st := getJob(url2, quick.ID); st.State != "succeeded" {
+		t.Errorf("finished job state after crash = %q, want succeeded", st.State)
+	}
+	st := getJob(url2, hog.ID)
+	if st.State != "interrupted" {
+		t.Errorf("in-flight job state after crash = %q, want interrupted", st.State)
+	}
+	if !strings.Contains(st.Error, "interrupted") {
+		t.Errorf("interrupted job error = %q", st.Error)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("recovered serve exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatal("recovered serve did not exit after SIGTERM")
+	}
+}
+
+// serveJobStatus is the subset of the job wire form the CLI tests need.
+type serveJobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
 }
 
 func TestCLIProfileProgressFlag(t *testing.T) {

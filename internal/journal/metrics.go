@@ -1,0 +1,54 @@
+package journal
+
+import "alchemist/internal/obs"
+
+// Metrics is the journal's instrument set. Every field is optional:
+// obs instruments are nil-receiver safe, so a zero Metrics (or a nil
+// Options.Metrics) runs unmetered without branching at the call sites.
+type Metrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	fsyncs      *obs.Counter
+	rotations   *obs.Counter
+	snapshots   *obs.Counter
+	tornTails   *obs.Counter
+
+	segments         *obs.Gauge
+	recoveredRecords *obs.Gauge
+
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+	recordBytes   *obs.Histogram
+	snapshotBytes *obs.Histogram
+}
+
+// NewMetrics registers the journal instrument set on r under the
+// alchemist_journal_* names.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		appends: r.Counter("alchemist_journal_appends_total",
+			"Records appended to the write-ahead journal."),
+		appendBytes: r.Counter("alchemist_journal_append_bytes_total",
+			"Framed bytes appended to the write-ahead journal."),
+		fsyncs: r.Counter("alchemist_journal_fsyncs_total",
+			"fsync calls issued by the journal (batched under interval sync)."),
+		rotations: r.Counter("alchemist_journal_segment_rotations_total",
+			"Segment files sealed and replaced with a fresh one."),
+		snapshots: r.Counter("alchemist_journal_snapshots_total",
+			"Snapshot+compaction cycles completed."),
+		tornTails: r.Counter("alchemist_journal_torn_tails_total",
+			"Torn tail records truncated during recovery."),
+		segments: r.Gauge("alchemist_journal_segments",
+			"Live segment files, including the active one."),
+		recoveredRecords: r.Gauge("alchemist_journal_recovered_records",
+			"Records replayed from disk at the last open."),
+		appendSeconds: r.Histogram("alchemist_journal_append_seconds",
+			"Wall-clock latency of one journal append (includes the fsync under always sync).", nil),
+		fsyncSeconds: r.Histogram("alchemist_journal_fsync_seconds",
+			"Wall-clock latency of one journal fsync.", nil),
+		recordBytes: r.Histogram("alchemist_journal_record_bytes",
+			"Payload size of appended records.", obs.ByteBuckets),
+		snapshotBytes: r.Histogram("alchemist_journal_snapshot_bytes",
+			"Payload size of written snapshots.", obs.ByteBuckets),
+	}
+}

@@ -2,10 +2,13 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"alchemist"
 	"alchemist/internal/progs"
@@ -194,17 +197,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	name, src := req.Name, req.Source
 	if req.Workload != "" {
 		if req.Source != "" {
-			httpError(w, http.StatusBadRequest, "request has both source and workload; pick one")
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "request has both source and workload; pick one")
 			return
 		}
 		wl, err := progs.ByName(req.Workload)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 			return
 		}
 		name, src = wl.Name+".mc", wl.Source
 	} else if src == "" {
-		httpError(w, http.StatusBadRequest, "request needs source or workload")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "request needs source or workload")
 		return
 	}
 	if name == "" {
@@ -433,9 +436,27 @@ func summarize(jobIdx int, res *alchemist.RunResult) RunSummary {
 
 // ---------- async jobs ----------
 
+// writeIdemReplay answers a replayed Idempotency-Key: 200 (not 202)
+// with the existing job and the idempotent_replay marker.
+func (s *Server) writeIdemReplay(w http.ResponseWriter, j *job) {
+	s.sm.idemReplays.Inc()
+	st := j.status(false)
+	st.IdempotentReplay = true
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		httpError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining; not accepting new jobs")
+		return
+	}
+	// A replayed Idempotency-Key returns the existing job before any
+	// decoding or admission: the first submission's outcome stands,
+	// whatever the retry's body says.
+	idemKey := r.Header.Get("Idempotency-Key")
+	if j := s.store.getIdem(idemKey); j != nil {
+		s.writeIdemReplay(w, j)
 		return
 	}
 	var req JobRequest
@@ -446,13 +467,13 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	switch req.Kind {
 	case "profile", "advise", "run":
 	default:
-		httpError(w, http.StatusBadRequest, "unknown job kind %q (want profile, advise, or run)", req.Kind)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "unknown job kind %q (want profile, advise, or run)", req.Kind)
 		return
 	}
 	// Validate the source before paying for an admission slot, so typos
 	// fail fast with 400 rather than occupying the queue.
 	if _, _, _, _, err := req.resolve(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	release, ok := s.tryAdmit()
@@ -460,8 +481,23 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeBusy(w)
 		return
 	}
-	j := newJob(req.Kind)
-	s.store.put(j)
+	// The canonicalized request is journaled with the job so a crash
+	// recovery can re-enqueue it.
+	reqRaw, err := json.Marshal(req)
+	if err != nil {
+		release()
+		httpError(w, http.StatusInternalServerError, CodeInternal, "encoding request: %v", err)
+		return
+	}
+	j := newJob(req.Kind, reqRaw, idemKey, s.wal)
+	if winner := s.store.putOrIdem(j); winner != j {
+		// Two racing submissions shared the key; the loser's job has no
+		// journal footprint yet and is simply dropped.
+		release()
+		s.writeIdemReplay(w, winner)
+		return
+	}
+	j.enqueue()
 	s.sm.jobsCreated.Inc()
 	s.sm.jobsActive.Add(1)
 	s.startJob(j, req, release)
@@ -502,13 +538,99 @@ func (s *Server) startJob(j *job, req JobRequest, release func()) {
 	}()
 }
 
+// JobListResponse is the paginated body of GET /v1/jobs.
+type JobListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextPageToken continues the listing when more jobs remain; pass
+	// it back as ?page_token=. Absent on the last page.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// encodeCursor renders a pagination cursor naming the last returned
+// job. The ordering key is (created_at, id), which is stable: recovery
+// preserves creation times and ids, and retirement between pages only
+// removes rows.
+func encodeCursor(st JobStatus) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("v1:%d:%s", st.CreatedAt.UnixNano(), st.ID)))
+}
+
+// decodeCursor parses a page token back into its ordering key.
+func decodeCursor(tok string) (createdNS int64, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, "", err
+	}
+	parts := strings.SplitN(string(raw), ":", 3)
+	if len(parts) != 3 || parts[0] != "v1" {
+		return 0, "", errors.New("malformed token")
+	}
+	createdNS, err = strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, "", err
+	}
+	return createdNS, parts[2], nil
+}
+
+// handleJobList serves GET /v1/jobs with a state= filter, a limit=
+// page size, and cursor-based page_token= pagination over the stable
+// (created_at, id) ordering.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.store.list()
-	out := struct {
-		Jobs []JobStatus `json:"jobs"`
-	}{Jobs: make([]JobStatus, 0, len(jobs))}
-	for _, j := range jobs {
-		out.Jobs = append(out.Jobs, j.status(false))
+	q := r.URL.Query()
+
+	var filter JobState
+	if st := q.Get("state"); st != "" {
+		filter = JobState(st)
+		if !validJobState(filter) {
+			httpError(w, http.StatusBadRequest, CodeBadRequest,
+				"unknown state %q (want queued, running, succeeded, failed, or interrupted)", st)
+			return
+		}
+	}
+	limit := defaultListLimit
+	if ls := q.Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer, got %q", ls)
+			return
+		}
+		limit = min(v, maxListLimit)
+	}
+	var afterNS int64
+	var afterID string
+	hasCursor := false
+	if tok := q.Get("page_token"); tok != "" {
+		var err error
+		afterNS, afterID, err = decodeCursor(tok)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "invalid page_token")
+			return
+		}
+		hasCursor = true
+	}
+
+	out := JobListResponse{Jobs: make([]JobStatus, 0, limit)}
+	for _, j := range s.store.list() {
+		st := j.status(false)
+		if filter != "" && st.State != filter {
+			continue
+		}
+		if hasCursor {
+			ns := st.CreatedAt.UnixNano()
+			if ns < afterNS || (ns == afterNS && st.ID <= afterID) {
+				continue
+			}
+		}
+		if len(out.Jobs) == limit {
+			out.NextPageToken = encodeCursor(out.Jobs[limit-1])
+			break
+		}
+		out.Jobs = append(out.Jobs, st)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -516,7 +638,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status(true))
@@ -525,7 +647,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	j.mu.Lock()
@@ -543,12 +665,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		httpError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	s.sm.sseStreams.Inc()
@@ -590,11 +712,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status    string   `json:"status"`
 		Workers   int      `json:"workers"`
 		Queue     int      `json:"queue_capacity"`
+		Durable   bool     `json:"durable"`
 		Workloads []string `json:"workloads"`
 	}{
 		Status:  state,
 		Workers: s.eng.Workers(),
 		Queue:   s.opts.QueueDepth,
+		Durable: s.wal != nil,
 		Workloads: func() []string {
 			var names []string
 			for _, wl := range progs.All() {
@@ -607,26 +731,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // ---------- error mapping ----------
 
-// writeBusy answers 429 with the Retry-After backoff hint.
+// writeBusy answers 429 with the Retry-After backoff hint in both the
+// header and the error envelope.
 func (s *Server) writeBusy(w http.ResponseWriter) {
 	secs := int(s.opts.RetryAfter.Seconds())
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	httpError(w, http.StatusTooManyRequests,
-		"admission queue full (%d slots); retry after %ds", s.opts.QueueDepth, secs)
+	writeJSON(w, http.StatusTooManyRequests, apiError{Error: ErrorBody{
+		Code: CodeQueueSaturated,
+		Message: fmt.Sprintf("admission queue full (%d slots); retry after %ds",
+			s.opts.QueueDepth, secs),
+		RetryAfterMS: s.opts.RetryAfter.Milliseconds(),
+	}})
 }
 
 // writeDecodeError maps body-parse failures: 413 for oversized bodies,
 // 400 otherwise.
 func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
 	if isMaxBytes(err) {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			"request body exceeds %d bytes", s.opts.MaxBodyBytes)
 		return
 	}
-	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	httpError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 }
 
 // writeExecError maps work failures onto statuses: 400 for user errors
@@ -636,13 +765,13 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	var ue *userError
 	switch {
 	case errors.As(err, &ue):
-		httpError(w, http.StatusBadRequest, "%v", ue.err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", ue.err)
 	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, "%v", err)
+		httpError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "%v", err)
 	case errors.Is(err, context.Canceled):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, http.StatusServiceUnavailable, CodeCanceled, "%v", err)
 	default:
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
 }
 

@@ -14,17 +14,32 @@ import (
 
 // JobState is the lifecycle of an async job. Transitions are strictly
 // queued → running → (succeeded | failed); failed covers errors,
-// deadline expiry, and cancellation.
+// deadline expiry, and cancellation. A job that the journal shows as
+// queued or running after a crash is recovered as interrupted (or
+// re-enqueued when the server opts into requeue-on-recovery).
 type JobState string
 
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobSucceeded JobState = "succeeded"
-	JobFailed    JobState = "failed"
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobSucceeded   JobState = "succeeded"
+	JobFailed      JobState = "failed"
+	JobInterrupted JobState = "interrupted"
 )
 
-func (st JobState) terminal() bool { return st == JobSucceeded || st == JobFailed }
+func (st JobState) terminal() bool {
+	return st == JobSucceeded || st == JobFailed || st == JobInterrupted
+}
+
+// validJobState reports whether s names a real state (for the list
+// endpoint's state= filter).
+func validJobState(s JobState) bool {
+	switch s {
+	case JobQueued, JobRunning, JobSucceeded, JobFailed, JobInterrupted:
+		return true
+	}
+	return false
+}
 
 // Event is one entry in a job's ordered event log, streamed to SSE
 // subscribers and replayed to late ones. Seq increases by one per event
@@ -34,7 +49,8 @@ type Event struct {
 	Type string `json:"type"` // "state" or "progress"
 	// State is set on "state" events.
 	State JobState `json:"state,omitempty"`
-	// Error carries the failure message on the terminal "failed" event.
+	// Error carries the failure message on the terminal "failed" (or
+	// "interrupted") event.
 	Error string `json:"error,omitempty"`
 	// Job, Steps, and TotalSteps are set on "progress" events: the
 	// batch-job index that reported, its executed-step count, and the
@@ -50,11 +66,18 @@ func encodeEvent(ev Event) ([]byte, error) {
 }
 
 // job is one async unit of work: its state machine, progress aggregate,
-// event log, and result.
+// event log, and result. Every externally visible mutation flows
+// through publishLocked / finish, which mirror it into the write-ahead
+// journal (when one is attached) so the job survives a crash.
 type job struct {
 	id      string
 	kind    string
 	created time.Time
+	idemKey string
+	// reqRaw is the canonicalized submission body, journaled so the job
+	// can be re-enqueued after a crash.
+	reqRaw json.RawMessage
+	wal    *walWriter
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -63,7 +86,7 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	errMsg   string
-	result   any
+	result   json.RawMessage
 
 	events          []Event
 	progress        obs.Progress
@@ -72,15 +95,20 @@ type job struct {
 	cancel context.CancelFunc
 }
 
-func newJob(kind string) *job {
+// newJob builds a queued job without publishing or journaling anything:
+// callers must store it (so journal snapshots can see it) and then call
+// enqueue.
+func newJob(kind string, reqRaw json.RawMessage, idemKey string, wal *walWriter) *job {
 	j := &job{
 		id:      newJobID(),
 		kind:    kind,
 		created: time.Now(),
+		idemKey: idemKey,
+		reqRaw:  reqRaw,
+		wal:     wal,
 		state:   JobQueued,
 	}
 	j.cond = sync.NewCond(&j.mu)
-	j.publishLocked(Event{Type: "state", State: JobQueued})
 	return j
 }
 
@@ -95,12 +123,28 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// publishLocked appends one event and wakes subscribers. Callers hold
-// j.mu.
+// enqueue journals the job's creation and publishes the queued event.
+// It must run after the job is in the store: a journal snapshot taken
+// in between then includes the job, which is what makes the created
+// record safe to compact.
+func (j *job) enqueue() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wal.append(walRecord{
+		Type: recCreated, ID: j.id, At: j.created,
+		Kind: j.kind, Request: j.reqRaw, IdemKey: j.idemKey,
+	})
+	j.publishLocked(Event{Type: "state", State: JobQueued})
+}
+
+// publishLocked appends one event, wakes subscribers, and journals it.
+// Callers hold j.mu; the in-memory append happens before the journal
+// write so a snapshot of this job always covers its journaled records.
 func (j *job) publishLocked(ev Event) {
 	ev.Seq = len(j.events)
 	j.events = append(j.events, ev)
 	j.cond.Broadcast()
+	j.wal.append(walRecord{Type: recEvent, ID: j.id, At: time.Now(), Event: &ev})
 }
 
 // wake re-checks every subscriber's wait condition; used to unblock
@@ -121,7 +165,7 @@ func (j *job) setRunning() {
 }
 
 // finish records the terminal state, result, and final progress
-// snapshot, and publishes the terminal event.
+// snapshot, publishes the terminal event, and journals the outcome.
 func (j *job) finish(result any, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -133,11 +177,50 @@ func (j *job) finish(result any, err error) {
 		j.state = JobFailed
 		j.errMsg = err.Error()
 		j.publishLocked(Event{Type: "state", State: JobFailed, Error: j.errMsg})
+	} else {
+		j.state = JobSucceeded
+		if result != nil {
+			if raw, merr := json.Marshal(result); merr == nil {
+				j.result = raw
+			}
+		}
+		j.publishLocked(Event{Type: "state", State: JobSucceeded})
+	}
+	j.wal.append(walRecord{
+		Type: recDone, ID: j.id, At: j.finished,
+		StartedAt: j.started, FinishedAt: j.finished,
+		Error: j.errMsg, Result: j.result,
+	})
+}
+
+// interrupt marks a recovered non-terminal job as interrupted: the
+// server crashed (or was killed) while it was queued or running, so its
+// work is gone. The terminal event is journaled, making the next
+// recovery a no-op.
+func (j *job) interrupt(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
 		return
 	}
-	j.state = JobSucceeded
-	j.result = result
-	j.publishLocked(Event{Type: "state", State: JobSucceeded})
+	j.state = JobInterrupted
+	j.errMsg = reason
+	j.finished = time.Now()
+	j.publishLocked(Event{Type: "state", State: JobInterrupted, Error: reason})
+	j.wal.append(walRecord{
+		Type: recDone, ID: j.id, At: j.finished,
+		StartedAt: j.started, FinishedAt: j.finished, Error: reason,
+	})
+}
+
+// requeue returns a recovered non-terminal job to the queued state for
+// re-execution, continuing its event log.
+func (j *job) requeue() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobQueued
+	j.started = time.Time{}
+	j.publishLocked(Event{Type: "state", State: JobQueued})
 }
 
 // reportProgress feeds one batch job's step report into the progress
@@ -191,6 +274,9 @@ type JobStatus struct {
 	Progress   []obs.JobProgress `json:"progress,omitempty"`
 	TotalSteps int64             `json:"total_steps"`
 	Result     any               `json:"result,omitempty"`
+	// IdempotentReplay marks a POST /v1/jobs response that returned an
+	// existing job because its Idempotency-Key had been seen before.
+	IdempotentReplay bool `json:"idempotent_replay,omitempty"`
 }
 
 // status snapshots the job. withResult controls whether the (possibly
@@ -215,10 +301,30 @@ func (j *job) status(withResult bool) JobStatus {
 		t := j.finished
 		st.FinishedAt = &t
 	}
-	if withResult && j.state == JobSucceeded {
+	if withResult && j.state == JobSucceeded && len(j.result) > 0 {
 		st.Result = j.result
 	}
 	return st
+}
+
+// snapshot captures the job's full durable state for a journal
+// snapshot.
+func (j *job) snapshot() jobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobSnapshot{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+		Error:      j.errMsg,
+		Result:     j.result,
+		Events:     append([]Event(nil), j.events...),
+		IdemKey:    j.idemKey,
+		Request:    j.reqRaw,
+	}
 }
 
 // expired reports whether the job finished more than ttl ago.
@@ -234,28 +340,59 @@ func (j *job) isTerminal() bool {
 	return j.state.terminal()
 }
 
-// jobStore is the in-memory job index with TTL-based retirement and a
-// hard capacity.
+// jobStore is the job index with TTL-based retirement, a hard capacity,
+// and an idempotency-key index. With a journal attached, retirements
+// are journaled so recovery does not resurrect retired jobs.
 type jobStore struct {
 	ttl time.Duration
 	max int
 	sm  *serverMetrics
+	wal *walWriter
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []*job // creation order, for capacity eviction
+	mu     sync.Mutex
+	jobs   map[string]*job
+	byIdem map[string]*job
+	order  []*job // creation order, for capacity eviction
 }
 
-func newJobStore(ttl time.Duration, max int, sm *serverMetrics) *jobStore {
-	return &jobStore{ttl: ttl, max: max, sm: sm, jobs: make(map[string]*job)}
+func newJobStore(ttl time.Duration, max int, sm *serverMetrics, wal *walWriter) *jobStore {
+	return &jobStore{
+		ttl: ttl, max: max, sm: sm, wal: wal,
+		jobs:   make(map[string]*job),
+		byIdem: make(map[string]*job),
+	}
 }
 
+// put registers j unconditionally (recovery path; idempotency keys are
+// indexed but never contested there).
 func (s *jobStore) put(j *job) {
 	s.mu.Lock()
+	s.jobs[j.id] = j
+	if j.idemKey != "" {
+		s.byIdem[j.idemKey] = j
+	}
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.sweep(time.Now())
+}
+
+// putOrIdem registers j unless another job already owns its
+// idempotency key, in which case that job is returned and j is
+// discarded (it has no journal footprint yet).
+func (s *jobStore) putOrIdem(j *job) *job {
+	s.mu.Lock()
+	if j.idemKey != "" {
+		if prev := s.byIdem[j.idemKey]; prev != nil {
+			s.mu.Unlock()
+			return prev
+		}
+		s.byIdem[j.idemKey] = j
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.mu.Unlock()
 	s.sweep(time.Now())
+	return j
 }
 
 func (s *jobStore) get(id string) *job {
@@ -264,13 +401,41 @@ func (s *jobStore) get(id string) *job {
 	return s.jobs[id]
 }
 
-// list returns every stored job, oldest first.
+// getIdem returns the job owning an idempotency key, if any.
+func (s *jobStore) getIdem(key string) *job {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byIdem[key]
+}
+
+// list returns every stored job in the API's stable order: creation
+// time ascending, ties broken by id.
 func (s *jobStore) list() []*job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := append([]*job(nil), s.order...)
-	sort.SliceStable(out, func(i, k int) bool { return out[i].created.Before(out[k].created) })
+	sort.SliceStable(out, func(i, k int) bool {
+		if !out[i].created.Equal(out[k].created) {
+			return out[i].created.Before(out[k].created)
+		}
+		return out[i].id < out[k].id
+	})
 	return out
+}
+
+// snapshot captures the whole store for a journal snapshot.
+func (s *jobStore) snapshot() storeSnapshot {
+	s.mu.Lock()
+	jobs := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	snap := storeSnapshot{Jobs: make([]jobSnapshot, 0, len(jobs))}
+	for _, j := range jobs {
+		snap.Jobs = append(snap.Jobs, j.snapshot())
+	}
+	return snap
 }
 
 // sweep retires finished jobs past their TTL and, when the store is
@@ -291,6 +456,10 @@ func (s *jobStore) sweep(now time.Time) {
 				overflow-- // any eviction shrinks the store
 			}
 			delete(s.jobs, j.id)
+			if j.idemKey != "" {
+				delete(s.byIdem, j.idemKey)
+			}
+			s.wal.append(walRecord{Type: recRetired, ID: j.id, At: now})
 			s.sm.jobsRetired.Inc()
 			continue
 		}

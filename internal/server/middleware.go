@@ -58,8 +58,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			if v := recover(); v != nil {
 				s.sm.panics.Inc()
 				if !sw.wrote {
-					writeJSON(sw, http.StatusInternalServerError,
-						apiError{Error: fmt.Sprintf("internal error: %v", v)})
+					httpError(sw, http.StatusInternalServerError,
+						CodeInternal, "internal error: %v", v)
 				}
 				s.logAccess(r, sw, time.Since(start))
 				// The stack goes to the access log sink if there is
@@ -103,9 +103,47 @@ func (s *Server) logAccess(r *http.Request, sw *statusWriter, d time.Duration) {
 	s.logMu.Unlock()
 }
 
-// apiError is the uniform error body.
+// Error codes form the machine-readable half of the error envelope:
+// a closed enum clients can switch on without parsing messages. The
+// human-readable message may change between releases; the code set only
+// grows.
+const (
+	// CodeBadRequest: the request body or query is malformed or fails
+	// validation (400).
+	CodeBadRequest = "bad_request"
+	// CodeBodyTooLarge: the request body exceeds MaxBodyBytes (413).
+	CodeBodyTooLarge = "body_too_large"
+	// CodeJobNotFound: the job id does not exist (404) — it may have
+	// been retired by TTL or capacity.
+	CodeJobNotFound = "job_not_found"
+	// CodeQueueSaturated: the admission queue is full; retry after
+	// retry_after_ms (429).
+	CodeQueueSaturated = "queue_saturated"
+	// CodeDraining: the server is shutting down and refuses new work
+	// (503).
+	CodeDraining = "draining"
+	// CodeDeadlineExceeded: the work hit its deadline (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled: the work was cancelled before completing (503).
+	CodeCanceled = "canceled"
+	// CodeInternal: an unexpected server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the payload of the uniform error envelope.
+type ErrorBody struct {
+	// Code is one of the Code* enum values.
+	Code string `json:"code"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+	// RetryAfterMS hints when to retry, on queue_saturated errors.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// apiError is the uniform error envelope: every non-2xx response body
+// is {"error": {"code": ..., "message": ...}}.
 type apiError struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
 // writeJSON writes v as indented JSON with the given status.
@@ -117,9 +155,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// httpError writes the uniform error body.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// httpError writes the uniform error envelope.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // decodeJSON parses the request body into v, rejecting unknown fields

@@ -30,6 +30,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"alchemist"
+	"alchemist/internal/journal"
 	"alchemist/internal/obs"
 )
 
@@ -93,6 +95,33 @@ type Options struct {
 	// AccessLog receives one structured line per request. Nil disables
 	// access logging.
 	AccessLog io.Writer
+
+	// DataDir enables the disk-backed job journal: every job mutation
+	// is appended to a write-ahead log under this directory, and New
+	// replays it so finished jobs (results and event logs included)
+	// survive a restart. Jobs that were queued or running at crash time
+	// come back as "interrupted" unless RequeueOnRecovery is set. Empty
+	// keeps the store purely in memory.
+	DataDir string
+
+	// Fsync selects the journal's fsync policy (journal.SyncAlways /
+	// SyncInterval / SyncNone). Default SyncInterval: a crash loses at
+	// most FsyncEvery worth of acknowledged records.
+	Fsync journal.SyncMode
+
+	// FsyncEvery is the fsync batching period under SyncInterval.
+	// Default 100ms.
+	FsyncEvery time.Duration
+
+	// SnapshotEvery runs a journal snapshot+compaction cycle after this
+	// many appended records, bounding both log size and recovery time.
+	// Default 4096; negative disables snapshotting.
+	SnapshotEvery int64
+
+	// RequeueOnRecovery re-enqueues jobs that the journal shows as
+	// queued or running at crash time (their submitted request is
+	// journaled), re-running them instead of marking them interrupted.
+	RequeueOnRecovery bool
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -126,6 +155,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ProgressInterval == 0 {
 		o.ProgressInterval = 100 * time.Millisecond
 	}
+	if o.Fsync == "" {
+		o.Fsync = journal.SyncInterval
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
 	return o, nil
 }
 
@@ -142,6 +177,12 @@ type serverMetrics struct {
 	jobsActive  *obs.Gauge
 	jobsRetired *obs.Counter
 	sseStreams  *obs.Counter
+
+	jobsRecovered   *obs.Gauge
+	jobsInterrupted *obs.Counter
+	jobsRequeued    *obs.Counter
+	idemReplays     *obs.Counter
+	walErrors       *obs.Counter
 
 	latency map[string]*obs.Histogram
 }
@@ -177,6 +218,16 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Finished async jobs dropped from the store (TTL or capacity)."),
 		sseStreams: r.Counter("alchemist_server_sse_streams_total",
 			"Job event streams opened."),
+		jobsRecovered: r.Gauge("alchemist_server_jobs_recovered",
+			"Jobs rebuilt from the journal at the last startup."),
+		jobsInterrupted: r.Counter("alchemist_server_jobs_interrupted_total",
+			"Recovered jobs marked interrupted because they were queued or running at crash time."),
+		jobsRequeued: r.Counter("alchemist_server_jobs_requeued_total",
+			"Recovered jobs re-enqueued for execution (requeue-on-recovery)."),
+		idemReplays: r.Counter("alchemist_server_idempotent_replays_total",
+			"Job submissions answered with an existing job via Idempotency-Key."),
+		walErrors: r.Counter("alchemist_server_journal_errors_total",
+			"Job-store journal operations that failed (appends, snapshots)."),
 		latency: make(map[string]*obs.Histogram, len(routes)),
 	}
 	for _, route := range routes {
@@ -197,7 +248,12 @@ type Server struct {
 	sm    *serverMetrics
 	admit chan struct{}
 	store *jobStore
+	wal   *walWriter
+	rec   RecoveryStats
 	h     http.Handler
+
+	// walOnce guards the journal close across Shutdown/Close.
+	walOnce sync.Once
 
 	// lifeCtx outlives every request; cancelling it aborts all async
 	// jobs and the janitor.
@@ -216,8 +272,27 @@ type Server struct {
 	ln      net.Listener
 }
 
+// RecoveryStats reports what the last New found in the journal.
+type RecoveryStats struct {
+	// Durable is true when the server runs with a journal (DataDir).
+	Durable bool
+	// Jobs is how many jobs were rebuilt from disk.
+	Jobs int
+	// Interrupted is how many recovered jobs had been queued or running
+	// at crash time and were marked interrupted.
+	Interrupted int
+	// Requeued is how many such jobs were re-enqueued instead
+	// (RequeueOnRecovery).
+	Requeued int
+	// TruncatedBytes is the size of the torn journal tail dropped
+	// during recovery (0 after a clean shutdown).
+	TruncatedBytes int64
+}
+
 // New builds a Server from opts and starts its background job janitor.
-// Call Close (or Shutdown) to release it.
+// With a DataDir, the job journal is replayed first: finished jobs come
+// back with results and event logs, jobs lost mid-flight are marked
+// interrupted or re-enqueued. Call Close (or Shutdown) to release it.
 func New(opts Options) (*Server, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -230,13 +305,74 @@ func New(opts Options) (*Server, error) {
 		sm:    newServerMetrics(opts.Registry),
 		admit: make(chan struct{}, opts.QueueDepth),
 	}
-	s.store = newJobStore(opts.JobTTL, opts.MaxJobs, s.sm)
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+
+	var recovered []*jobSnapshot
+	if opts.DataDir != "" {
+		jn, rec, err := journal.Open(journal.Options{
+			Dir:       opts.DataDir,
+			Sync:      opts.Fsync,
+			SyncEvery: opts.FsyncEvery,
+			Metrics:   journal.NewMetrics(s.reg),
+		})
+		if err != nil {
+			s.lifeCancel()
+			return nil, fmt.Errorf("server: opening job journal: %w", err)
+		}
+		recovered, err = replayState(rec)
+		if err != nil {
+			jn.Close()
+			s.lifeCancel()
+			return nil, err
+		}
+		s.wal = &walWriter{jn: jn, snapEvery: opts.SnapshotEvery, errs: s.sm.walErrors.Inc}
+		s.rec = RecoveryStats{Durable: true, TruncatedBytes: rec.TruncatedBytes}
+	}
+	s.store = newJobStore(opts.JobTTL, opts.MaxJobs, s.sm, s.wal)
+	if s.wal != nil {
+		s.wal.store = s.store
+	}
+	s.recoverJobs(recovered)
+
 	obs.RegisterProcess(s.reg)
 	s.h = s.buildHandler()
 	go s.janitor()
 	return s, nil
 }
+
+// recoverJobs rebuilds the store from the journal's durable job states
+// and settles every non-terminal job: re-enqueue if configured (and a
+// queue slot is free), otherwise mark interrupted.
+func (s *Server) recoverJobs(snaps []*jobSnapshot) {
+	for _, js := range snaps {
+		j := restoreJob(js, s.wal)
+		s.store.put(j)
+		s.rec.Jobs++
+		if j.isTerminal() {
+			continue
+		}
+		if s.opts.RequeueOnRecovery {
+			var req JobRequest
+			if err := json.Unmarshal(j.reqRaw, &req); err == nil {
+				if release, ok := s.tryAdmit(); ok {
+					j.requeue()
+					s.rec.Requeued++
+					s.sm.jobsRequeued.Inc()
+					s.sm.jobsActive.Add(1)
+					s.startJob(j, req, release)
+					continue
+				}
+			}
+		}
+		j.interrupt("interrupted: server restarted while the job was queued or running")
+		s.rec.Interrupted++
+		s.sm.jobsInterrupted.Inc()
+	}
+	s.sm.jobsRecovered.Set(int64(s.rec.Jobs))
+}
+
+// Recovery reports what the journal replay found at startup.
+func (s *Server) Recovery() RecoveryStats { return s.rec }
 
 // buildHandler assembles the route table with per-route
 // instrumentation and mounts the obs endpoints on the same mux.
@@ -334,10 +470,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	httpErr := <-shutRes
 	s.lifeCancel() // stop the janitor
+	s.closeWal()
 	if drainErr != nil {
 		return fmt.Errorf("server: drain aborted: %w", drainErr)
 	}
 	return httpErr
+}
+
+// closeWal flushes and closes the job journal exactly once, after every
+// job goroutine that could append has unwound.
+func (s *Server) closeWal() {
+	s.walOnce.Do(func() {
+		if s.wal != nil {
+			if err := s.wal.close(); err != nil {
+				s.sm.walErrors.Inc()
+			}
+		}
+	})
 }
 
 // Close abandons everything immediately: running jobs are cancelled and
@@ -353,6 +502,7 @@ func (s *Server) Close() error {
 		err = httpSrv.Close()
 	}
 	s.jobWG.Wait()
+	s.closeWal()
 	return err
 }
 

@@ -123,9 +123,14 @@ func TestCompileGolden(t *testing.T) {
 	}
 }
 
-// The error bodies are part of the API: exact golden matches.
+// The error envelope is part of the API: exact golden matches on the
+// {"error": {"code", "message"}} shape.
 func TestErrorBodiesGolden(t *testing.T) {
 	_, ts := newTestServer(t, nil)
+	golden := func(code, message string) string {
+		return "{\n  \"error\": {\n    \"code\": \"" + code +
+			"\",\n    \"message\": \"" + message + "\"\n  }\n}\n"
+	}
 	cases := []struct {
 		name, method, path, body string
 		status                   int
@@ -133,19 +138,25 @@ func TestErrorBodiesGolden(t *testing.T) {
 	}{
 		{"empty spec", "POST", "/v1/profile", `{}`,
 			http.StatusBadRequest,
-			"{\n  \"error\": \"request needs source or workload\"\n}\n"},
+			golden("bad_request", "request needs source or workload")},
 		{"both sources", "POST", "/v1/profile", `{"source":"int main() { return 0; }","workload":"gzip"}`,
 			http.StatusBadRequest,
-			"{\n  \"error\": \"request has both source and workload; pick one\"\n}\n"},
+			golden("bad_request", "request has both source and workload; pick one")},
 		{"bad kind", "POST", "/v1/jobs", `{"kind":"bogus","source":"int main() { return 0; }"}`,
 			http.StatusBadRequest,
-			"{\n  \"error\": \"unknown job kind \\\"bogus\\\" (want profile, advise, or run)\"\n}\n"},
+			golden("bad_request", `unknown job kind \"bogus\" (want profile, advise, or run)`)},
 		{"unknown job", "GET", "/v1/jobs/deadbeef", "",
 			http.StatusNotFound,
-			"{\n  \"error\": \"no such job \\\"deadbeef\\\"\"\n}\n"},
+			golden("job_not_found", `no such job \"deadbeef\"`)},
 		{"unknown field", "POST", "/v1/compile", `{"sauce":"int main() {}"}`,
 			http.StatusBadRequest,
-			"{\n  \"error\": \"bad request body: json: unknown field \\\"sauce\\\"\"\n}\n"},
+			golden("bad_request", `bad request body: json: unknown field \"sauce\"`)},
+		{"bad list state", "GET", "/v1/jobs?state=bogus", "",
+			http.StatusBadRequest,
+			golden("bad_request", `unknown state \"bogus\" (want queued, running, succeeded, failed, or interrupted)`)},
+		{"bad page token", "GET", "/v1/jobs?page_token=@@@", "",
+			http.StatusBadRequest,
+			golden("bad_request", "invalid page_token")},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -265,6 +276,10 @@ func TestBackpressure429(t *testing.T) {
 	}
 	if !strings.Contains(body, "admission queue full") {
 		t.Errorf("429 body: %s", body)
+	}
+	if !strings.Contains(body, `"code": "queue_saturated"`) ||
+		!strings.Contains(body, `"retry_after_ms": 3000`) {
+		t.Errorf("429 envelope missing code/retry_after_ms: %s", body)
 	}
 	// Async submissions are refused the same way.
 	resp, _ = post(t, ts.URL+"/v1/jobs", `{"kind":"run","source":"int main() { return 0; }"}`)
@@ -577,9 +592,9 @@ func TestStartServesRealListener(t *testing.T) {
 
 func TestJobStoreTTLAndCapacity(t *testing.T) {
 	sm := newServerMetrics(alchemist.NewEngine().Metrics())
-	store := newJobStore(time.Minute, 2, sm)
+	store := newJobStore(time.Minute, 2, sm, nil)
 	mk := func(succeed bool) *job {
-		j := newJob("run")
+		j := newJob("run", nil, "", nil)
 		j.setRunning()
 		if succeed {
 			j.finish(nil, nil)
@@ -603,7 +618,7 @@ func TestJobStoreTTLAndCapacity(t *testing.T) {
 		t.Errorf("%d jobs survive past TTL", got)
 	}
 	// Unfinished jobs are never retired.
-	running := newJob("run")
+	running := newJob("run", nil, "", nil)
 	running.setRunning()
 	store.put(running)
 	store.sweep(time.Now().Add(time.Hour))
