@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// SubmitJob submits an async job. A fresh Idempotency-Key is minted
+// once per call and reattached on every retry, so however many times
+// the submission is re-sent over a flaky link, the server enqueues the
+// work at most once (a replayed submission returns the original job
+// with IdempotentReplay set).
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var out JobStatus
+	hdr := map[string]string{"Idempotency-Key": newIdemKey()}
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", req, hdr, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's status, including the result payload when it
+// has succeeded.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListJobsOptions filters and pages GET /v1/jobs.
+type ListJobsOptions struct {
+	// State keeps only jobs in that state ("" = all).
+	State JobState
+	// Limit caps the page size (0 = server default).
+	Limit int
+	// PageToken continues a previous listing.
+	PageToken string
+}
+
+// ListJobs fetches one page of the job listing.
+func (c *Client) ListJobs(ctx context.Context, opts ListJobsOptions) (*JobList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.PageToken != "" {
+		q.Set("page_token", opts.PageToken)
+	}
+	path := "/v1/jobs"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out JobList
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state, following its
+// SSE event stream (reconnecting and resuming as needed) and falling
+// back to polling if streaming keeps failing. It returns the final
+// status with the result payload included.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	st, err := c.waitStream(ctx, id)
+	if err == nil && st.State.Terminal() {
+		return st, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Either streaming kept failing, or the stream ended on a job that is
+	// somehow still live (a dying server can emit a terminal "interrupted"
+	// event for work that a requeue-on-recovery restart then resurrects).
+	// Polling is the arbiter: the status endpoint never lies.
+	return c.pollJob(ctx, id)
+}
+
+// waitStream drives the event stream to its terminal event.
+func (c *Client) waitStream(ctx context.Context, id string) (*JobStatus, error) {
+	es := c.StreamEvents(id, 0)
+	defer es.Close()
+	for {
+		_, err := es.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return c.Job(ctx, id)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pollJob is the streaming fallback: plain status polls with a gentle
+// backoff.
+func (c *Client) pollJob(ctx context.Context, id string) (*JobStatus, error) {
+	delay := 50 * time.Millisecond
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// SubmitAndWait submits a job and blocks until it finishes, combining
+// SubmitJob's idempotent retry with WaitJob's resumable stream. It is
+// the one-call path that survives 429s, 5xx bursts, dropped
+// connections, and a server restart (with a durable, requeueing server
+// the job itself survives too).
+func (c *Client) SubmitAndWait(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if st.State.Terminal() {
+		return c.Job(ctx, st.ID)
+	}
+	return c.WaitJob(ctx, st.ID)
+}

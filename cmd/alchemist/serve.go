@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,9 +37,17 @@ func cmdServe(args []string) error {
 	fsync := fs.String("fsync", "interval", "journal fsync policy: always, interval, or none")
 	snapshotEvery := fs.Int64("snapshot-every", 4096, "compact the journal after this many records (negative disables)")
 	requeue := fs.Bool("requeue-on-recovery", false, "re-enqueue jobs that were queued or running at crash time instead of marking them interrupted")
+	apiKeys := fs.String("api-keys", "", "file of name:key lines; requests must present a listed key via X-Api-Key (empty = open server)")
+	rate := fs.Float64("rate", 0, "per-client request rate limit for work-creating endpoints, requests/second (0 = unlimited)")
+	clientQuota := fs.Int("client-quota", 0, "per-client cap on concurrent admitted work units; 429 quota_exceeded beyond it (0 = unlimited)")
+	shed := fs.Bool("shed", false, "reject jobs on arrival when the estimated queue wait already exceeds their deadline")
 	fs.Parse(args)
 
 	syncMode, err := journal.ParseSyncMode(*fsync)
+	if err != nil {
+		return err
+	}
+	keys, err := loadAPIKeys(*apiKeys)
 	if err != nil {
 		return err
 	}
@@ -63,6 +72,10 @@ func cmdServe(args []string) error {
 		Fsync:             syncMode,
 		SnapshotEvery:     *snapshotEvery,
 		RequeueOnRecovery: *requeue,
+		APIKeys:           keys,
+		RatePerSec:        *rate,
+		ClientQuota:       *clientQuota,
+		ShedDeadlines:     *shed,
 	})
 	if err != nil {
 		return err
@@ -93,4 +106,38 @@ func cmdServe(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "serve: drained cleanly")
 	return nil
+}
+
+// loadAPIKeys reads a key file: one name:key per line, blank lines and
+// #-comments skipped. The returned map is keyed by the API key (what a
+// request presents), valued by the client name (what quotas and logs
+// use).
+func loadAPIKeys(path string) (map[string]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading -api-keys: %w", err)
+	}
+	keys := make(map[string]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, key, ok := strings.Cut(line, ":")
+		name, key = strings.TrimSpace(name), strings.TrimSpace(key)
+		if !ok || name == "" || key == "" {
+			return nil, fmt.Errorf("serve: -api-keys line %d: want name:key, got %q", i+1, line)
+		}
+		if prev, dup := keys[key]; dup {
+			return nil, fmt.Errorf("serve: -api-keys line %d: key already assigned to %q", i+1, prev)
+		}
+		keys[key] = name
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("serve: -api-keys file %s holds no keys", path)
+	}
+	return keys, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"strings"
 	"syscall"
@@ -245,5 +246,68 @@ func TestCLITable5ProgressFlag(t *testing.T) {
 	// 4 workloads x (sequential + parallel) x 1 run = 8 progress slots.
 	if !strings.Contains(out, "progress: 8/8 jobs done") {
 		t.Errorf("final snapshot should report 8/8 runs done:\n%s", out)
+	}
+}
+
+// TestCLIServeResilienceFlags exercises the admission-control flags:
+// -api-keys gates every /v1 endpoint, -rate meters work creation, and
+// -client-quota caps concurrent jobs per key.
+func TestCLIServeResilienceFlags(t *testing.T) {
+	keyFile := t.TempDir() + "/keys"
+	if err := os.WriteFile(keyFile, []byte("# test keys\nalpha: key-alpha\nbeta: key-beta\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	url, _, _ := startServe(t, "-api-keys", keyFile, "-rate", "50", "-client-quota", "1")
+
+	get := func(key string) int {
+		req, err := http.NewRequest(http.MethodGet, url+"/v1/jobs", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("X-Api-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("nope"); code != http.StatusUnauthorized {
+		t.Fatalf("unknown key: status %d, want 401", code)
+	}
+	if code := get("key-alpha"); code != http.StatusOK {
+		t.Fatalf("known key: status %d, want 200", code)
+	}
+	if code := get(""); code != http.StatusOK {
+		t.Fatalf("anonymous: status %d, want 200", code)
+	}
+
+	// Quota 1: alpha's second concurrent job is refused; beta still gets in.
+	submit := func(key string) int {
+		body := `{"kind":"run","name":"f","source":"int main() { int s = 0; for (int i = 0; i < 1000000000; i++) { s += i; } return s % 2; }","timeout_ms":30000}`
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Api-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := submit("key-alpha"); code != http.StatusAccepted {
+		t.Fatalf("alpha job 1: status %d, want 202", code)
+	}
+	if code := submit("key-alpha"); code != http.StatusTooManyRequests {
+		t.Fatalf("alpha job 2: status %d, want 429 quota_exceeded", code)
+	}
+	if code := submit("key-beta"); code != http.StatusAccepted {
+		t.Fatalf("beta job: status %d, want 202 (alpha's quota must not starve beta)", code)
 	}
 }

@@ -1,7 +1,8 @@
 // serve demonstrates the profiling-as-a-service subsystem end to end:
 // an in-process internal/server instance on a free port, a synchronous
 // profile call, an async job followed over its SSE progress stream, a
-// /metrics scrape, and a graceful drain.
+// /metrics scrape, a graceful drain, durable restarts, and finally the
+// client SDK riding out a mid-run server restart.
 //
 // Run with: go run ./examples/serve
 package main
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"alchemist"
+	"alchemist/client"
 	"alchemist/internal/server"
 )
 
@@ -164,4 +166,83 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\ndurable store drained cleanly")
+
+	// --- Resilience: the client SDK survives a mid-run restart ------
+	// The SDK retries with capped, jittered backoff (honoring the
+	// server's Retry-After), submits jobs under auto-generated
+	// idempotency keys, and resumes SSE streams with Last-Event-ID.
+	// Here a job is submitted, the server is torn down mid-watch, and a
+	// requeue-on-recovery replacement comes up on the same port — one
+	// SubmitAndWait call rides across the whole incident.
+	resDir, err := os.MkdirTemp("", "alchemist-resilience-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(resDir)
+
+	newDurable := func() *server.Server {
+		s, err := server.New(server.Options{
+			Engine:            alchemist.NewEngine(alchemist.WithWorkers(2)),
+			DataDir:           resDir,
+			RequeueOnRecovery: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	srv4 := newDurable()
+	if err := srv4.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	addr := srv4.Addr().String()
+	fmt.Printf("\n=== client SDK vs. restart (serving %s) ===\n", addr)
+
+	c := client.New("http://"+addr,
+		client.WithRetry(40, 10*time.Millisecond, 250*time.Millisecond))
+	type outcome struct {
+		st  *client.JobStatus
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		st, err := c.SubmitAndWait(ctx, client.JobRequest{
+			Kind:       "profile",
+			SourceSpec: client.SourceSpec{Workload: "aes", Scales: []int{8192, 16384}},
+			TimeoutMS:  60_000,
+		})
+		done <- outcome{st, err}
+	}()
+
+	// Kill the server while the client is mid-watch. Kill is the
+	// crash-shaped stop: sockets severed, journal frozen, in-flight work
+	// abandoned exactly as a SIGKILL would leave it.
+	time.Sleep(50 * time.Millisecond)
+	srv4.Kill()
+	fmt.Println("server killed mid-run; client is retrying against a dead port")
+
+	// ...and bring a replacement up on the same address. Recovery
+	// requeues the journaled job; the client's stream resumes.
+	srv5 := newDurable()
+	for i := 0; ; i++ {
+		if err := srv5.Start(addr); err == nil {
+			break
+		} else if i > 200 {
+			log.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("replacement up on %s (recovered %d, requeued %d)\n",
+		addr, srv5.Recovery().Jobs, srv5.Recovery().Requeued)
+
+	res := <-done
+	if res.err != nil {
+		log.Fatal(res.err)
+	}
+	fmt.Printf("SubmitAndWait survived the restart: state=%s, %d result bytes\n",
+		res.st.State, len(res.st.Result))
+	if err := srv5.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresilient client drained cleanly")
 }

@@ -1,0 +1,235 @@
+// Package faultinject is a seeded, composable fault-injection harness
+// for exercising the client SDK and server against the failures a real
+// deployment sees: added latency, 5xx bursts, dropped connections, and
+// mid-stream cuts. Faults stack as an http.RoundTripper chain on the
+// client side (so the server under test stays pristine) or as an
+// http.Handler middleware on the server side.
+//
+// Everything is driven by a caller-supplied *rand.Rand, so a failing
+// run reproduces from its seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDropped is the connection-level error surfaced by DropRequest and
+// DropResponse: the transport equivalent of a RST mid-exchange.
+var ErrDropped = errors.New("faultinject: connection dropped")
+
+// Fault decides one request's fate. It may fail the request outright,
+// fabricate a response, delay, or call next and tamper with the result.
+type Fault func(req *http.Request, next http.RoundTripper) (*http.Response, error)
+
+// Injector is an http.RoundTripper that runs each request through a
+// fault chain before (and around) the base transport.
+type Injector struct {
+	base   http.RoundTripper
+	faults []Fault
+
+	// Injected counts the faults that actually fired.
+	Injected atomic.Int64
+}
+
+// Chain wraps base (nil = http.DefaultTransport) with faults, applied
+// in order: faults[0] sees the request first.
+func Chain(base http.RoundTripper, faults ...Fault) *Injector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Injector{base: base, faults: faults}
+}
+
+// Use appends faults to the chain. The fault constructors below are
+// methods on Injector (so firings land on its counter), which makes
+// this the usual wiring: build the Injector first, then Use the faults
+// it constructs. Not safe to call once requests are in flight.
+func (in *Injector) Use(faults ...Fault) *Injector {
+	in.faults = append(in.faults, faults...)
+	return in
+}
+
+// RoundTrip implements http.RoundTripper.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	next := in.base
+	// Build the chain back-to-front so faults[0] runs first.
+	for i := len(in.faults) - 1; i >= 0; i-- {
+		f := in.faults[i]
+		inner := next
+		next = roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+			return f(r, inner)
+		})
+	}
+	return next.RoundTrip(req)
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// lockedRand serializes a *rand.Rand: fault chains run on concurrent
+// request goroutines.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (lr *lockedRand) Float64() float64 {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.rng.Float64()
+}
+
+func (lr *lockedRand) Int63n(n int64) int64 {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.rng.Int63n(n)
+}
+
+// NewRand builds the seeded source the fault constructors take.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Latency delays a fraction p of requests by a uniform duration in
+// [min, max] before forwarding them.
+func (in *Injector) Latency(rng *rand.Rand, p float64, min, max time.Duration) Fault {
+	lr := &lockedRand{rng: rng}
+	return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+		if lr.Float64() < p {
+			in.Injected.Add(1)
+			d := min
+			if max > min {
+				d += time.Duration(lr.Int63n(int64(max - min + 1)))
+			}
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(d):
+			}
+		}
+		return next.RoundTrip(req)
+	}
+}
+
+// ServerError answers a fraction p of requests with a synthetic status
+// (e.g. 502) without the request ever reaching the server — the shape
+// of a failing proxy or LB in front of a healthy backend.
+func (in *Injector) ServerError(rng *rand.Rand, p float64, status int) Fault {
+	lr := &lockedRand{rng: rng}
+	return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+		if lr.Float64() < p {
+			in.Injected.Add(1)
+			body := fmt.Sprintf(`{"error":{"code":"internal","message":"faultinject: synthetic %d"}}`, status)
+			return &http.Response{
+				StatusCode: status,
+				Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+				Proto:      req.Proto,
+				ProtoMajor: req.ProtoMajor,
+				ProtoMinor: req.ProtoMinor,
+				Header:     http.Header{"Content-Type": []string{"application/json"}},
+				Body:       io.NopCloser(strings.NewReader(body)),
+				Request:    req,
+			}, nil
+		}
+		return next.RoundTrip(req)
+	}
+}
+
+// DropRequest fails a fraction p of requests with ErrDropped before
+// they reach the server: a connection refused / reset on dial.
+func (in *Injector) DropRequest(rng *rand.Rand, p float64) Fault {
+	lr := &lockedRand{rng: rng}
+	return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+		if lr.Float64() < p {
+			in.Injected.Add(1)
+			return nil, ErrDropped
+		}
+		return next.RoundTrip(req)
+	}
+}
+
+// DropResponse forwards a fraction p of requests to the server, then
+// discards the response and reports ErrDropped — the nasty case where
+// the server did the work but the client cannot know. Retrying such a
+// request is only safe when it is idempotent, which is exactly what
+// this fault exists to prove.
+func (in *Injector) DropResponse(rng *rand.Rand, p float64) Fault {
+	lr := &lockedRand{rng: rng}
+	return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+		drop := lr.Float64() < p
+		resp, err := next.RoundTrip(req)
+		if err != nil || !drop {
+			return resp, err
+		}
+		in.Injected.Add(1)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, ErrDropped
+	}
+}
+
+// CutBody lets a fraction p of responses start streaming, then severs
+// the body after limit bytes with ErrDropped — a mid-stream SSE cut.
+func (in *Injector) CutBody(rng *rand.Rand, p float64, limit int64) Fault {
+	lr := &lockedRand{rng: rng}
+	return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+		resp, err := next.RoundTrip(req)
+		if err != nil || lr.Float64() >= p {
+			return resp, err
+		}
+		in.Injected.Add(1)
+		resp.Body = &cutBody{rc: resp.Body, remaining: limit}
+		return resp, nil
+	}
+}
+
+// cutBody reads through to its underlying body until the byte budget is
+// spent, then fails like a severed TCP stream.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (cb *cutBody) Read(p []byte) (int, error) {
+	if cb.remaining <= 0 {
+		return 0, ErrDropped
+	}
+	if int64(len(p)) > cb.remaining {
+		p = p[:cb.remaining]
+	}
+	n, err := cb.rc.Read(p)
+	cb.remaining -= int64(n)
+	if err == nil && cb.remaining <= 0 {
+		err = ErrDropped
+	}
+	return n, err
+}
+
+func (cb *cutBody) Close() error { return cb.rc.Close() }
+
+// Middleware wraps a server handler so a fraction p of requests are
+// answered with a synthetic status before the real handler runs —
+// server-side injection for handlers under test. The counter reports
+// how many requests were failed.
+func Middleware(rng *rand.Rand, p float64, status int, next http.Handler) (http.Handler, *atomic.Int64) {
+	lr := &lockedRand{rng: rng}
+	var injected atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if lr.Float64() < p {
+			injected.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":{"code":"internal","message":"faultinject: synthetic %d"}}`, status)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+	return h, &injected
+}

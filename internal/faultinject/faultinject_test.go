@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestChainOrderAndPassthrough(t *testing.T) {
+	ts := okServer(t)
+	var order []string
+	tag := func(name string) Fault {
+		return func(req *http.Request, next http.RoundTripper) (*http.Response, error) {
+			order = append(order, name)
+			return next.RoundTrip(req)
+		}
+	}
+	in := Chain(nil, tag("a"), tag("b"))
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	resp, err := in.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("fault order = %v, want [a b]", order)
+	}
+}
+
+func TestServerErrorSynthetic(t *testing.T) {
+	ts := okServer(t)
+	in := Chain(nil)
+	in.Use(in.ServerError(NewRand(1), 1.0, http.StatusBadGateway))
+	c := &http.Client{Transport: in}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if in.Injected.Load() != 1 {
+		t.Fatalf("Injected = %d, want 1", in.Injected.Load())
+	}
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer ts.Close()
+	in := Chain(nil)
+	in.Use(in.DropRequest(NewRand(1), 1.0))
+	c := &http.Client{Transport: in}
+	_, err := c.Get(ts.URL)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if hits != 0 {
+		t.Fatalf("server hits = %d, want 0", hits)
+	}
+}
+
+func TestDropResponseReachesServer(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, "done")
+	}))
+	defer ts.Close()
+	in := Chain(nil)
+	in.Use(in.DropResponse(NewRand(1), 1.0))
+	c := &http.Client{Transport: in}
+	_, err := c.Get(ts.URL)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if hits != 1 {
+		t.Fatalf("server hits = %d, want 1 (the work happened; the response was lost)", hits)
+	}
+}
+
+func TestCutBodySeversMidStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "0123456789abcdef")
+	}))
+	defer ts.Close()
+	in := Chain(nil)
+	in.Use(in.CutBody(NewRand(1), 1.0, 4))
+	c := &http.Client{Transport: in}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("read err = %v, want ErrDropped", err)
+	}
+	if len(body) > 4 {
+		t.Fatalf("read %d bytes past the cut limit of 4", len(body))
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	ts := okServer(t)
+	in := Chain(nil)
+	in.Use(in.Latency(NewRand(1), 1.0, 30*time.Millisecond, 30*time.Millisecond))
+	c := &http.Client{Transport: in}
+	start := time.Now()
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms", d)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	ts := okServer(t)
+	run := func(seed int64) []bool {
+		in := Chain(nil)
+		in.Use(in.DropRequest(NewRand(seed), 0.5))
+		c := &http.Client{Transport: in}
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			resp, err := c.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+}
+
+func TestMiddlewareInjects(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	h, injected := Middleware(NewRand(1), 1.0, http.StatusServiceUnavailable, inner)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
+	}
+	if injected.Load() != 1 {
+		t.Fatalf("injected = %d, want 1", injected.Load())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -189,6 +190,10 @@ type progressSink func(batchJob int, steps int64)
 // ---------- sync handlers ----------
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	cl, ok := s.authn(w, r)
+	if !ok || !s.allowRate(w, cl) {
+		return
+	}
 	var req CompileRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeDecodeError(w, err)
@@ -227,18 +232,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	cl, ok := s.authn(w, r)
+	if !ok || !s.allowRate(w, cl) {
+		return
+	}
 	var req ProfileRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeDecodeError(w, err)
 		return
 	}
-	release, ok := s.tryAdmit()
+	timeout := s.timeoutFor(req.TimeoutMS)
+	release, ok := s.admitClient(w, cl, timeout)
 	if !ok {
-		s.writeBusy(w)
 		return
 	}
 	defer release()
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	resp, err := s.profile(ctx, req, nil)
 	if err != nil {
@@ -249,18 +258,22 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	cl, ok := s.authn(w, r)
+	if !ok || !s.allowRate(w, cl) {
+		return
+	}
 	var req ProfileRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeDecodeError(w, err)
 		return
 	}
-	release, ok := s.tryAdmit()
+	timeout := s.timeoutFor(req.TimeoutMS)
+	release, ok := s.admitClient(w, cl, timeout)
 	if !ok {
-		s.writeBusy(w)
 		return
 	}
 	defer release()
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	resp, err := s.advise(ctx, req, nil)
 	if err != nil {
@@ -271,18 +284,22 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	cl, ok := s.authn(w, r)
+	if !ok || !s.allowRate(w, cl) {
+		return
+	}
 	var req RunRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeDecodeError(w, err)
 		return
 	}
-	release, ok := s.tryAdmit()
+	timeout := s.timeoutFor(req.TimeoutMS)
+	release, ok := s.admitClient(w, cl, timeout)
 	if !ok {
-		s.writeBusy(w)
 		return
 	}
 	defer release()
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	resp, err := s.run(ctx, req, nil)
 	if err != nil {
@@ -448,7 +465,15 @@ func (s *Server) writeIdemReplay(w http.ResponseWriter, j *job) {
 
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		httpError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining; not accepting new jobs")
+		// Draining is transient: a well-behaved client should back off
+		// and retry against the replacement process, so the 503 carries
+		// the same retry hints as the 429 paths.
+		s.writeRetryable(w, http.StatusServiceUnavailable, s.opts.RetryAfter,
+			CodeDraining, "server is draining; not accepting new jobs")
+		return
+	}
+	cl, ok := s.authn(w, r)
+	if !ok || !s.allowRate(w, cl) {
 		return
 	}
 	// A replayed Idempotency-Key returns the existing job before any
@@ -476,9 +501,8 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	release, ok := s.tryAdmit()
+	release, ok := s.admitClient(w, cl, s.timeoutFor(req.TimeoutMS))
 	if !ok {
-		s.writeBusy(w)
 		return
 	}
 	// The canonicalized request is journaled with the job so a crash
@@ -581,6 +605,9 @@ func decodeCursor(tok string) (createdNS int64, id string, err error) {
 // page size, and cursor-based page_token= pagination over the stable
 // (created_at, id) ordering.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authn(w, r); !ok {
+		return
+	}
 	q := r.URL.Query()
 
 	var filter JobState
@@ -636,6 +663,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authn(w, r); !ok {
+		return
+	}
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
 		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
@@ -645,6 +675,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authn(w, r); !ok {
+		return
+	}
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
 		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
@@ -661,12 +694,29 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleJobEvents streams the job's event log as Server-Sent Events:
 // every past event is replayed in order, then live events as they
-// happen, ending after the terminal state event.
+// happen, ending after the terminal state event. A Last-Event-ID header
+// (the SSE reconnect convention; the stream's id: field carries the
+// event Seq) resumes from the first unseen event instead of replaying
+// the whole log. Idle streams emit a ": keepalive" comment every
+// SSEKeepAlive so proxy idle timeouts do not cut them.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authn(w, r); !ok {
+		return
+	}
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
 		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
 		return
+	}
+	next := 0
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		n, err := strconv.Atoi(lid)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "malformed Last-Event-ID %q (want a non-negative event seq)", lid)
+			return
+		}
+		next = n + 1
+		s.sm.sseResumed.Inc()
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -684,11 +734,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(r.Context(), j.wake)
 	defer stop()
 
-	next := 0
 	for {
-		evs, done := j.waitEvents(r.Context(), next)
+		evs, done, timedOut := j.waitEvents(r.Context(), next, s.opts.SSEKeepAlive)
 		if r.Context().Err() != nil {
 			return
+		}
+		if timedOut {
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
 		}
 		for _, ev := range evs {
 			if err := writeSSE(w, ev); err != nil {
@@ -760,7 +816,8 @@ func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
 
 // writeExecError maps work failures onto statuses: 400 for user errors
 // (bad source), 504 for deadline expiry, 503 for cancellation (server
-// shutdown), 500 otherwise.
+// shutdown; retryable, so it carries the Retry-After hints), 500
+// otherwise.
 func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	var ue *userError
 	switch {
@@ -769,7 +826,7 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "%v", err)
 	case errors.Is(err, context.Canceled):
-		httpError(w, http.StatusServiceUnavailable, CodeCanceled, "%v", err)
+		s.writeRetryable(w, http.StatusServiceUnavailable, s.opts.RetryAfter, CodeCanceled, "%v", err)
 	default:
 		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 	}

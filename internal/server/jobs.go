@@ -249,17 +249,35 @@ func (j *job) reportProgress(batchJob int, steps int64, minGap time.Duration) {
 }
 
 // waitEvents blocks until the log grows past `after`, the job reaches a
-// terminal state, or ctx ends. It returns the new events and whether
-// the returned slice completes the log of a terminated job (the stream
-// can end).
-func (j *job) waitEvents(ctx context.Context, after int) ([]Event, bool) {
+// terminal state, ctx ends, or maxWait elapses (maxWait <= 0 waits
+// forever). It returns the new events, whether the returned slice
+// completes the log of a terminated job (the stream can end), and
+// whether it gave up on the wait — the SSE handler's cue to emit a
+// keepalive comment.
+func (j *job) waitEvents(ctx context.Context, after int, maxWait time.Duration) ([]Event, bool, bool) {
+	var deadline time.Time
+	if maxWait > 0 {
+		deadline = time.Now().Add(maxWait)
+		// The timer wakes the cond so the timeout is observed even with
+		// no event traffic.
+		t := time.AfterFunc(maxWait, j.wake)
+		defer t.Stop()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for len(j.events) <= after && !j.state.terminal() && ctx.Err() == nil {
+		if maxWait > 0 && !time.Now().Before(deadline) {
+			return nil, false, true
+		}
 		j.cond.Wait()
 	}
+	if after >= len(j.events) {
+		// A resumed subscriber can ask for events past the end of a
+		// terminated log; there is nothing left to send.
+		return nil, j.state.terminal(), false
+	}
 	evs := append([]Event(nil), j.events[after:]...)
-	return evs, j.state.terminal() && after+len(evs) == len(j.events)
+	return evs, j.state.terminal() && after+len(evs) == len(j.events), false
 }
 
 // JobStatus is the wire form of a job.

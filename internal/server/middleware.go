@@ -116,9 +116,19 @@ const (
 	// CodeJobNotFound: the job id does not exist (404) — it may have
 	// been retired by TTL or capacity.
 	CodeJobNotFound = "job_not_found"
-	// CodeQueueSaturated: the admission queue is full; retry after
-	// retry_after_ms (429).
+	// CodeQueueSaturated: the admission queue is full (or the estimated
+	// queue wait makes the request's deadline infeasible, under load
+	// shedding); retry after retry_after_ms (429).
 	CodeQueueSaturated = "queue_saturated"
+	// CodeRateLimited: the client exceeded its per-client request rate;
+	// retry after retry_after_ms (429).
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded: the client already has its quota of concurrent
+	// work admitted; retry after retry_after_ms (429).
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeUnauthorized: the X-Api-Key header names no known client
+	// (401).
+	CodeUnauthorized = "unauthorized"
 	// CodeDraining: the server is shutting down and refuses new work
 	// (503).
 	CodeDraining = "draining"

@@ -67,6 +67,39 @@ type Options struct {
 	// Default 1s.
 	RetryAfter time.Duration
 
+	// APIKeys maps X-Api-Key header values onto client names for
+	// per-client rate limits and quotas (several keys may share one
+	// name). Requests without a key run as "anonymous"; requests with
+	// an unknown key are refused with 401. Empty leaves the server
+	// open: the header is ignored and every request is anonymous.
+	APIKeys map[string]string
+
+	// RatePerSec is the per-client token-bucket request rate applied to
+	// the work endpoints (compile/profile/advise/run/jobs). Violations
+	// answer 429 rate_limited with an honest Retry-After. 0 disables.
+	RatePerSec float64
+
+	// RateBurst is the token-bucket capacity. Default 2*RatePerSec
+	// (minimum 1) when rate limiting is on.
+	RateBurst int
+
+	// ClientQuota caps one client's concurrent admitted-but-unfinished
+	// units of work (sync requests + async jobs) ahead of the shared
+	// queue, so a greedy client cannot occupy every slot. Violations
+	// answer 429 quota_exceeded. 0 disables.
+	ClientQuota int
+
+	// ShedDeadlines rejects work on arrival (429, honest Retry-After)
+	// when the estimated queue wait already exceeds the request's
+	// deadline — shedding a guaranteed 504 instead of burning a worker
+	// on it.
+	ShedDeadlines bool
+
+	// SSEKeepAlive is how often an idle job event stream emits a
+	// ": keepalive" comment so proxy/LB idle timeouts do not cut it.
+	// 0 means the 15s default; negative disables keepalives.
+	SSEKeepAlive time.Duration
+
 	// MaxBodyBytes caps request bodies; larger requests fail with 413.
 	// Default 1 MiB.
 	MaxBodyBytes int64
@@ -155,6 +188,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ProgressInterval == 0 {
 		o.ProgressInterval = 100 * time.Millisecond
 	}
+	if o.RateBurst <= 0 && o.RatePerSec > 0 {
+		o.RateBurst = max(1, int(2*o.RatePerSec))
+	}
+	if o.SSEKeepAlive == 0 {
+		o.SSEKeepAlive = 15 * time.Second
+	}
 	if o.Fsync == "" {
 		o.Fsync = journal.SyncInterval
 	}
@@ -173,10 +212,17 @@ type serverMetrics struct {
 	rejects    *obs.Counter
 	panics     *obs.Counter
 
+	admitted     *obs.Counter
+	rateLimited  *obs.Counter
+	quotaRejects *obs.Counter
+	sheds        *obs.Counter
+	authFailures *obs.Counter
+
 	jobsCreated *obs.Counter
 	jobsActive  *obs.Gauge
 	jobsRetired *obs.Counter
 	sseStreams  *obs.Counter
+	sseResumed  *obs.Counter
 
 	jobsRecovered   *obs.Gauge
 	jobsInterrupted *obs.Counter
@@ -208,6 +254,16 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Admitted units of work (sync requests + async jobs) not yet finished."),
 		rejects: r.Counter("alchemist_server_admission_rejects_total",
 			"Requests refused with 429 because the admission queue was full."),
+		admitted: r.Counter("alchemist_server_admission_admitted_total",
+			"Units of work that passed the full admission pipeline."),
+		rateLimited: r.Counter("alchemist_server_admission_rate_limited_total",
+			"Requests refused with 429 rate_limited by a per-client token bucket."),
+		quotaRejects: r.Counter("alchemist_server_admission_quota_rejects_total",
+			"Requests refused with 429 quota_exceeded by a per-client concurrency quota."),
+		sheds: r.Counter("alchemist_server_admission_shed_total",
+			"Requests shed on arrival because the estimated queue wait exceeded their deadline."),
+		authFailures: r.Counter("alchemist_server_auth_failures_total",
+			"Requests refused with 401 for an unknown API key."),
 		panics: r.Counter("alchemist_server_panics_total",
 			"Handler panics recovered by the middleware."),
 		jobsCreated: r.Counter("alchemist_server_jobs_created_total",
@@ -218,6 +274,8 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Finished async jobs dropped from the store (TTL or capacity)."),
 		sseStreams: r.Counter("alchemist_server_sse_streams_total",
 			"Job event streams opened."),
+		sseResumed: r.Counter("alchemist_server_sse_resumed_total",
+			"Job event streams resumed from a client-supplied Last-Event-ID."),
 		jobsRecovered: r.Gauge("alchemist_server_jobs_recovered",
 			"Jobs rebuilt from the journal at the last startup."),
 		jobsInterrupted: r.Counter("alchemist_server_jobs_interrupted_total",
@@ -247,6 +305,7 @@ type Server struct {
 	reg   *obs.Registry
 	sm    *serverMetrics
 	admit chan struct{}
+	adm   *admission
 	store *jobStore
 	wal   *walWriter
 	rec   RecoveryStats
@@ -304,6 +363,7 @@ func New(opts Options) (*Server, error) {
 		reg:   opts.Registry,
 		sm:    newServerMetrics(opts.Registry),
 		admit: make(chan struct{}, opts.QueueDepth),
+		adm:   newAdmission(opts),
 	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 
@@ -501,6 +561,35 @@ func (s *Server) Close() error {
 	if httpSrv != nil {
 		err = httpSrv.Close()
 	}
+	s.jobWG.Wait()
+	s.closeWal()
+	return err
+}
+
+// Kill stops the server the way a crash would: the journal stops
+// accepting appends first, then every listener and connection is
+// severed, and in-flight jobs are abandoned without their cancellation
+// being recorded. The on-disk state is exactly what a SIGKILL at this
+// instant would leave — jobs the journal shows as queued or running
+// stay that way — so a successor opened over the same DataDir with
+// RequeueOnRecovery rehearses real crash recovery. In-process resources
+// (goroutines, file handles) are still reclaimed; the Engine survives
+// for reuse.
+func (s *Server) Kill() error {
+	if s.wal != nil {
+		s.wal.disabled.Store(true)
+	}
+	s.mu.Lock()
+	s.draining = true
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+	// Sever the HTTP side before aborting jobs: a crash never delivers
+	// "goodbye" events over still-open streams, so neither does Kill.
+	var err error
+	if httpSrv != nil {
+		err = httpSrv.Close()
+	}
+	s.lifeCancel()
 	s.jobWG.Wait()
 	s.closeWal()
 	return err
