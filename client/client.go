@@ -171,8 +171,13 @@ func retryableStatus(status int) bool {
 // do issues method path with the JSON body and decodes a 2xx response
 // into out (unless out is nil), retrying transient failures. extraHdr
 // is reattached on every attempt, which is what keeps a retried job
-// submission on its original Idempotency-Key.
+// submission on its original Idempotency-Key. One W3C trace ID is
+// minted per call and shared by every attempt (each attempt gets a
+// fresh parent span ID), so however many retries a request takes, the
+// server sees — and its access log and job timeline record — a single
+// trace.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, extraHdr map[string]string, out any) error {
+	traceID := newTraceID()
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -202,6 +207,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, extra
 		if c.apiKey != "" {
 			req.Header.Set("X-Api-Key", c.apiKey)
 		}
+		req.Header.Set("traceparent", traceparent(traceID))
 		for k, v := range extraHdr {
 			req.Header.Set(k, v)
 		}
@@ -310,4 +316,24 @@ func newIdemKey() string {
 		return fmt.Sprintf("idem-%d", time.Now().UnixNano())
 	}
 	return "idem-" + hex.EncodeToString(b[:])
+}
+
+// newTraceID mints a 16-byte W3C trace-context trace ID, hex-encoded.
+func newTraceID() string { return randHex(16) }
+
+// traceparent formats a version-00 W3C traceparent header carrying
+// traceID, with a fresh parent span ID — call it once per attempt.
+func traceparent(traceID string) string {
+	return "00-" + traceID + "-" + randHex(8) + "-01"
+}
+
+// randHex returns n random bytes, hex-encoded.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Never emit an all-zero (invalid) ID; a time-derived value is
+		// unique enough for the fallback path.
+		return fmt.Sprintf("%0*x", 2*n, time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b)
 }

@@ -34,6 +34,15 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	return &out, nil
 }
 
+// JobTrace fetches a job's span timeline.
+func (c *Client) JobTrace(ctx context.Context, id string) (*JobTrace, error) {
+	var out JobTrace
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ListJobsOptions filters and pages GET /v1/jobs.
 type ListJobsOptions struct {
 	// State keeps only jobs in that state ("" = all).

@@ -22,6 +22,10 @@ type EventStream struct {
 	c     *Client
 	jobID string
 
+	// traceID groups every connection attempt of this stream — including
+	// resumes after cuts — into one trace on the server.
+	traceID string
+
 	// next is the Seq the caller has not seen yet; reconnects ask the
 	// server to resume from it.
 	next int
@@ -39,7 +43,7 @@ func (c *Client) StreamEvents(jobID string, from int) *EventStream {
 	if from < 0 {
 		from = 0
 	}
-	return &EventStream{c: c, jobID: jobID, next: from}
+	return &EventStream{c: c, jobID: jobID, next: from, traceID: newTraceID()}
 }
 
 // Next blocks until the next unseen event arrives and returns it.
@@ -129,6 +133,7 @@ func (es *EventStream) connect(ctx context.Context) error {
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("traceparent", traceparent(es.traceID))
 	if es.c.apiKey != "" {
 		req.Header.Set("X-Api-Key", es.c.apiKey)
 	}

@@ -164,6 +164,37 @@ type JobStatus struct {
 	// IdempotentReplay marks a submission that was answered with an
 	// existing job via its Idempotency-Key.
 	IdempotentReplay bool `json:"idempotent_replay,omitempty"`
+	// TraceID is the W3C trace ID the job's span timeline records under
+	// (the submitting request's trace, when it carried one).
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans counts timeline entries recorded so far; fetch them with
+	// JobTrace.
+	Spans int `json:"spans,omitempty"`
+}
+
+// SpanRecord is one finished span in a job's trace timeline.
+type SpanRecord struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_span_id,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// JobTrace is the body of GET /v1/jobs/{id}/trace: the job's persisted
+// span timeline (admission, queue wait, compile, per-scale runs,
+// journal appends, SSE deliveries), which survives server restarts
+// alongside the event log.
+type JobTrace struct {
+	ID      string       `json:"id"`
+	State   JobState     `json:"state"`
+	TraceID string       `json:"trace_id,omitempty"`
+	Spans   []SpanRecord `json:"spans"`
+	// DroppedSpans counts spans discarded past the server's per-job cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
 }
 
 // JobList is the paginated body of GET /v1/jobs.

@@ -4,7 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +33,7 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window; jobs still running after it are aborted")
 	quiet := fs.Bool("quiet", false, "disable per-request access logging")
+	logFormat := fs.String("log-format", "text", "access/server log encoding: text or json")
 	dataDir := fs.String("data-dir", "", "journal job state under this directory so jobs survive restarts (empty = in-memory only)")
 	fsync := fs.String("fsync", "interval", "journal fsync policy: always, interval, or none")
 	snapshotEvery := fs.Int64("snapshot-every", 4096, "compact the journal after this many records (negative disables)")
@@ -56,9 +57,16 @@ func cmdServe(args []string) error {
 		alchemist.WithWorkers(*workers),
 		alchemist.WithCacheSize(*cacheSize),
 	)
-	var accessLog io.Writer = os.Stderr
-	if *quiet {
-		accessLog = nil
+	var logger *slog.Logger
+	if !*quiet {
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		default:
+			return fmt.Errorf("serve: -log-format must be text or json, got %q", *logFormat)
+		}
 	}
 	srv, err := server.New(server.Options{
 		Engine:            eng,
@@ -67,7 +75,7 @@ func cmdServe(args []string) error {
 		MaxTimeout:        *maxTimeout,
 		JobTTL:            *jobTTL,
 		MaxBodyBytes:      *maxBody,
-		AccessLog:         accessLog,
+		Logger:            logger,
 		DataDir:           *dataDir,
 		Fsync:             syncMode,
 		SnapshotEvery:     *snapshotEvery,

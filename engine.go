@@ -6,12 +6,15 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"alchemist/internal/core"
 	"alchemist/internal/obs"
 	"alchemist/internal/vm"
+	"alchemist/internal/xtrace"
 )
 
 // DefaultCacheSize is the compiled-program cache capacity of an Engine
@@ -305,7 +308,10 @@ func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOp
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, sp := xtrace.StartSpan(ctx, "compile")
+	defer sp.End()
 	if e.cache == nil { // caching disabled
+		sp.SetAttr("cache", "off")
 		return e.compileCounted(name, src, co)
 	}
 	key := programKey{name: name, srcHash: sha256.Sum256([]byte(src)), optimize: co.Optimize}
@@ -317,6 +323,7 @@ func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOp
 		e.em.cacheHits.Inc()
 		prog := el.Value.(*programEntry).prog
 		e.mu.Unlock()
+		sp.SetAttr("cache", "hit")
 		return prog, nil
 	}
 	e.stats.Misses++
@@ -326,6 +333,7 @@ func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOp
 		e.stats.Coalesced++
 		e.em.coalesced.Inc()
 		e.mu.Unlock()
+		sp.SetAttr("cache", "coalesced")
 		select {
 		case <-fl.done:
 			return fl.prog, fl.err
@@ -336,10 +344,14 @@ func (e *Engine) CompileWith(ctx context.Context, name, src string, co CompileOp
 	fl := &compileFlight{done: make(chan struct{})}
 	e.flight[key] = fl
 	e.mu.Unlock()
+	sp.SetAttr("cache", "miss")
 
 	// Compile outside the lock: a slow compile must not stall cache hits
 	// on other sources. Waiters for this key block on fl.done instead.
 	prog, err := e.compileCounted(name, src, co)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
 
 	e.mu.Lock()
 	fl.prog, fl.err = prog, err
@@ -486,11 +498,27 @@ func (e *Engine) runJob(ctx context.Context, p *Program, i int, job ProfileJob) 
 	sc := e.scratchGet()
 	cfg.scratch = sc
 
+	_, sp := xtrace.StartSpan(ctx, "profile")
+	sp.SetAttr("batch_job", strconv.Itoa(i))
+
 	e.em.inflightJobs.Add(1)
 	start := time.Now()
-	prof, res, err := p.ProfileCtx(ctx, cfg)
+	var (
+		prof *Profile
+		res  *RunResult
+		err  error
+	)
+	// The worker goroutine inherits any job_id/endpoint pprof labels from
+	// its spawner; batch_job narrows CPU samples to this run.
+	pprof.Do(ctx, pprof.Labels("batch_job", strconv.Itoa(i)), func(ctx context.Context) {
+		prof, res, err = p.ProfileCtx(ctx, cfg)
+	})
 	e.em.jobWall.Observe(time.Since(start).Seconds())
 	e.em.inflightJobs.Add(-1)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 
 	e.scratchPut(sc)
 	e.flushProfileStats(prof)
@@ -625,11 +653,24 @@ func (e *Engine) runRunJob(ctx context.Context, p *Program, i int, job RunJob) R
 	cfg := e.runJobConfig(job)
 	cfg.metrics = e.vmm
 
+	_, sp := xtrace.StartSpan(ctx, "run")
+	sp.SetAttr("batch_job", strconv.Itoa(i))
+
 	e.em.inflightJobs.Add(1)
 	start := time.Now()
-	res, err := p.RunCtx(ctx, cfg)
+	var (
+		res *RunResult
+		err error
+	)
+	pprof.Do(ctx, pprof.Labels("batch_job", strconv.Itoa(i)), func(ctx context.Context) {
+		res, err = p.RunCtx(ctx, cfg)
+	})
 	e.em.jobWall.Observe(time.Since(start).Seconds())
 	e.em.inflightJobs.Add(-1)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 
 	e.em.jobs.Inc()
 	if err != nil {

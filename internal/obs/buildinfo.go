@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary, assembled from
+// debug.ReadBuildInfo. Fields fall back to "unknown" when the binary
+// was built without module or VCS metadata (e.g. plain `go run` in a
+// test checkout).
+type BuildInfo struct {
+	Version   string `json:"version"`    // main module version
+	Revision  string `json:"revision"`   // VCS revision (vcs.revision)
+	Modified  bool   `json:"modified"`   // VCS tree had local edits
+	GoVersion string `json:"go_version"` // toolchain that built the binary
+}
+
+// ReadBuildInfo returns the binary's build metadata.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" && info.Main.Version != "(devel)" {
+		bi.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo exports the binary's identity as the constant-1
+// gauge alchemist_build_info with version/revision/go_version labels
+// (the Prometheus convention for joining build metadata onto any other
+// series).
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	rev := bi.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	r.GaugeVec("alchemist_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		[]string{"version", "revision", "go_version"}).
+		With(bi.Version, rev, bi.GoVersion).Set(1)
+	return bi
+}

@@ -49,18 +49,34 @@ func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
 
 // HistogramSnapshot is a point-in-time view of one histogram.
 type HistogramSnapshot struct {
-	Count   int64            `json:"count"`
-	Sum     float64          `json:"sum"`
-	Buckets []BucketSnapshot `json:"buckets"`
+	Count     int64            `json:"count"`
+	Sum       float64          `json:"sum"`
+	Buckets   []BucketSnapshot `json:"buckets"`
+	Exemplars []Exemplar       `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a whole registry, ready for JSON
 // encoding. Instruments registered but never touched still appear, with
-// zero values.
+// zero values. Children of labeled instruments appear as flat keys in
+// Prometheus selector notation, e.g. `name{route="health"}`.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+func histSnapshot(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Exemplars: h.Exemplars()}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+	}
+	return hs
 }
 
 // Snapshot captures every registered instrument. Individual reads are
@@ -80,17 +96,19 @@ func (r *Registry) Snapshot() Snapshot {
 		case in.g != nil:
 			s.Gauges[in.name] = in.g.Value()
 		case in.h != nil:
-			hs := HistogramSnapshot{Count: in.h.Count(), Sum: in.h.Sum()}
-			cum := int64(0)
-			for i := range in.h.counts {
-				cum += in.h.counts[i].Load()
-				ub := math.Inf(1)
-				if i < len(in.h.bounds) {
-					ub = in.h.bounds[i]
-				}
-				hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+			s.Histograms[in.name] = histSnapshot(in.h)
+		case in.cv != nil:
+			for _, ch := range in.cv.v.snapshot() {
+				s.Counters[in.name+in.cv.v.labelString(ch)] = ch.c.Value()
 			}
-			s.Histograms[in.name] = hs
+		case in.gv != nil:
+			for _, ch := range in.gv.v.snapshot() {
+				s.Gauges[in.name+in.gv.v.labelString(ch)] = ch.g.Value()
+			}
+		case in.hv != nil:
+			for _, ch := range in.hv.v.snapshot() {
+				s.Histograms[in.name+in.hv.v.labelString(ch)] = histSnapshot(ch.h)
+			}
 		}
 	}
 	return s
@@ -110,6 +128,41 @@ func formatFloat(v float64) string {
 		return "+Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writePromHistogram writes one histogram series. labels is the inner
+// label list without braces ("" for an unlabeled histogram); the le
+// label is appended to it on bucket lines.
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	le := "le"
+	if labels != "" {
+		le = labels + ",le"
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q} %d\n", name, le, formatFloat(ub), cum); err != nil {
+			return err
+		}
+	}
+	sel := ""
+	if labels != "" {
+		sel = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		name, sel, formatFloat(h.Sum()), name, sel, h.Count())
+	return err
+}
+
+// innerLabels renders a child's label list without the surrounding
+// braces, for merging with the le label on bucket lines.
+func innerLabels(v *vec, ch *vecChild) string {
+	s := v.labelString(ch)
+	return s[1 : len(s)-1]
 }
 
 // WritePrometheus writes every instrument in the Prometheus text
@@ -132,19 +185,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", in.name); err != nil {
 				return err
 			}
-			cum := int64(0)
-			for i := range in.h.counts {
-				cum += in.h.counts[i].Load()
-				ub := math.Inf(1)
-				if i < len(in.h.bounds) {
-					ub = in.h.bounds[i]
-				}
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", in.name, formatFloat(ub), cum); err != nil {
+			err = writePromHistogram(w, in.name, "", in.h)
+		case in.cv != nil:
+			if _, err = fmt.Fprintf(w, "# TYPE %s counter\n", in.name); err != nil {
+				return err
+			}
+			for _, ch := range in.cv.v.snapshot() {
+				if _, err = fmt.Fprintf(w, "%s%s %d\n", in.name, in.cv.v.labelString(ch), ch.c.Value()); err != nil {
 					return err
 				}
 			}
-			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-				in.name, formatFloat(in.h.Sum()), in.name, in.h.Count())
+		case in.gv != nil:
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", in.name); err != nil {
+				return err
+			}
+			for _, ch := range in.gv.v.snapshot() {
+				if _, err = fmt.Fprintf(w, "%s%s %d\n", in.name, in.gv.v.labelString(ch), ch.g.Value()); err != nil {
+					return err
+				}
+			}
+		case in.hv != nil:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", in.name); err != nil {
+				return err
+			}
+			for _, ch := range in.hv.v.snapshot() {
+				if err = writePromHistogram(w, in.name, innerLabels(in.hv.v, ch), ch.h); err != nil {
+					return err
+				}
+			}
 		}
 		if err != nil {
 			return err

@@ -45,6 +45,7 @@ type Server struct {
 // RegisterProcess).
 func StartServer(addr string, r *Registry) (*Server, error) {
 	RegisterProcess(r)
+	RegisterBuildInfo(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ package obs
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -84,6 +85,21 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64  // float64 bits, CAS-updated
 	count  atomic.Int64
+
+	exMu sync.Mutex
+	ex   []Exemplar // ring of recent exemplars, newest last
+}
+
+// maxExemplars bounds the per-histogram exemplar ring.
+const maxExemplars = 4
+
+// Exemplar ties a recent histogram observation to the trace that
+// produced it, so a latency bucket can be drilled into via
+// /debug/traces?trace_id=… . Exemplars appear in the JSON export only;
+// the Prometheus 0.0.4 text format has no syntax for them.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // DefBuckets is the default bucket layout for wall-clock seconds,
@@ -121,6 +137,38 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as an exemplar (a small ring of the most recent ones).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if len(h.ex) >= maxExemplars {
+		copy(h.ex, h.ex[1:])
+		h.ex = h.ex[:maxExemplars-1]
+	}
+	h.ex = append(h.ex, Exemplar{Value: v, TraceID: traceID})
+	h.exMu.Unlock()
+}
+
+// Exemplars returns a copy of the recent-exemplar ring, oldest first.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.ex) == 0 {
+		return nil
+	}
+	return append([]Exemplar(nil), h.ex...)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -144,6 +192,9 @@ type instrument struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
+	hv   *HistogramVec
 }
 
 // Registry is a named collection of instruments. Lookups are
@@ -155,6 +206,22 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*instrument
 	hooks  map[string]func()
+	logger atomic.Pointer[slog.Logger]
+}
+
+// SetLogger routes the registry's own diagnostics (scrape-hook panics)
+// to l. Without one, slog.Default() is used.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if l != nil {
+		r.logger.Store(l)
+	}
+}
+
+func (r *Registry) log() *slog.Logger {
+	if l := r.logger.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
 }
 
 // NewRegistry returns an empty registry.
@@ -191,16 +258,35 @@ func (r *Registry) onScrapeOnce(name string, fn func()) bool {
 }
 
 // runScrapeHooks invokes every registered scrape hook outside the lock.
+// A panicking hook is recovered, logged, and counted in
+// alchemist_obs_scrape_errors_total rather than taking down the scrape
+// (or the server thread driving it); the remaining hooks still run.
 func (r *Registry) runScrapeHooks() {
+	type hook struct {
+		name string
+		fn   func()
+	}
 	r.mu.RLock()
-	fns := make([]func(), 0, len(r.hooks))
-	for _, fn := range r.hooks {
-		fns = append(fns, fn)
+	hooks := make([]hook, 0, len(r.hooks))
+	for name, fn := range r.hooks {
+		hooks = append(hooks, hook{name, fn})
 	}
 	r.mu.RUnlock()
-	for _, fn := range fns {
-		fn()
+	for _, h := range hooks {
+		r.runHook(h.name, h.fn)
 	}
+}
+
+func (r *Registry) runHook(name string, fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.Counter("alchemist_obs_scrape_errors_total",
+				"Scrape hooks that panicked (recovered).").Inc()
+			r.log().Error("obs: scrape hook panicked",
+				"hook", name, "panic", fmt.Sprint(p))
+		}
+	}()
+	fn()
 }
 
 // validName enforces the Prometheus metric-name grammar

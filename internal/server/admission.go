@@ -167,6 +167,11 @@ func (s *Server) authn(w http.ResponseWriter, r *http.Request) (*clientState, bo
 		httpError(w, http.StatusUnauthorized, CodeUnauthorized, "unknown API key")
 		return nil, false
 	}
+	if ri := requestInfo(r.Context()); ri != nil {
+		// Resolved identity flows back to the access log and the
+		// per-client dimension of the labeled request counter.
+		ri.client = cl.name
+	}
 	return cl, true
 }
 

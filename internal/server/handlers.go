@@ -8,12 +8,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"alchemist"
+	"alchemist/internal/obs"
 	"alchemist/internal/progs"
 	"alchemist/internal/report"
+	"alchemist/internal/xtrace"
 )
 
 // SourceSpec names the program and input suite a request operates on:
@@ -501,10 +505,12 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	admitStart := time.Now()
 	release, ok := s.admitClient(w, cl, s.timeoutFor(req.TimeoutMS))
 	if !ok {
 		return
 	}
+	admitEnd := time.Now()
 	// The canonicalized request is journaled with the job so a crash
 	// recovery can re-enqueue it.
 	reqRaw, err := json.Marshal(req)
@@ -514,6 +520,13 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := newJob(req.Kind, reqRaw, idemKey, s.wal)
+	// The job adopts the submitting request's trace: its whole timeline
+	// shares one trace ID, parented under the request's root span. An
+	// SDK retry replays via Idempotency-Key above, so the first
+	// submission's trace stands.
+	if sc := xtrace.SpanContextFrom(r.Context()); sc.Valid() {
+		j.trace = sc
+	}
 	if winner := s.store.putOrIdem(j); winner != j {
 		// Two racing submissions shared the key; the loser's job has no
 		// journal footprint yet and is simply dropped.
@@ -522,6 +535,10 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.enqueue()
+	if j.trace.Valid() {
+		j.RecordSpan(xtrace.MakeRecord(j.trace.TraceID, j.trace.SpanID,
+			"admit", admitStart, admitEnd, nil))
+	}
 	s.sm.jobsCreated.Inc()
 	s.sm.jobsActive.Add(1)
 	s.startJob(j, req, release)
@@ -535,6 +552,14 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 // and poll later.
 func (s *Server) startJob(j *job, req JobRequest, release func()) {
 	ctx, cancel := context.WithTimeout(s.lifeCtx, s.timeoutFor(req.TimeoutMS))
+	if j.trace.Valid() {
+		// Engine spans (compile cache hit/miss/coalesced, per-scale
+		// profile/run) started under this context end into both the
+		// tracer's retention and the job's persisted timeline.
+		ctx = xtrace.ContextWithTracer(ctx, s.tracer)
+		ctx = xtrace.ContextWithSpanContext(ctx, j.trace)
+		ctx = xtrace.ContextWithRecorder(ctx, j)
+	}
 	j.mu.Lock()
 	j.cancel = cancel
 	j.mu.Unlock()
@@ -546,19 +571,29 @@ func (s *Server) startJob(j *job, req JobRequest, release func()) {
 		defer s.jobWG.Done()
 		defer release()
 		defer cancel()
-		j.setRunning()
-		var result any
-		var err error
-		switch j.kind {
-		case "profile":
-			result, err = s.profile(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
-		case "advise":
-			result, err = s.advise(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
-		case "run":
-			result, err = s.run(ctx, RunRequest{SourceSpec: req.SourceSpec, Parallel: req.Parallel}, sink)
-		}
-		j.finish(result, err)
-		s.sm.jobsActive.Add(-1)
+		// pprof labels attribute CPU samples from this job — and from
+		// the engine worker goroutines it fans out to, which inherit
+		// the labels — back to the job id and endpoint.
+		pprof.Do(ctx, pprof.Labels("job_id", j.id, "endpoint", j.kind), func(ctx context.Context) {
+			queuedAt := j.created
+			j.setRunning()
+			if j.trace.Valid() {
+				j.RecordSpan(xtrace.MakeRecord(j.trace.TraceID, j.trace.SpanID,
+					"queue", queuedAt, time.Now(), nil))
+			}
+			var result any
+			var err error
+			switch j.kind {
+			case "profile":
+				result, err = s.profile(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
+			case "advise":
+				result, err = s.advise(ctx, ProfileRequest{SourceSpec: req.SourceSpec, Top: req.Top}, sink)
+			case "run":
+				result, err = s.run(ctx, RunRequest{SourceSpec: req.SourceSpec, Parallel: req.Parallel}, sink)
+			}
+			j.finish(result, err)
+			s.sm.jobsActive.Add(-1)
+		})
 	}()
 }
 
@@ -730,6 +765,22 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	// The stream interval lands in the job's span timeline when it
+	// closes: how long delivery was attached, how many events it moved,
+	// and whether it was a Last-Event-ID resume.
+	streamStart := time.Now()
+	resumed := next > 0
+	sent := 0
+	defer func() {
+		if j.trace.Valid() {
+			j.RecordSpan(xtrace.MakeRecord(j.trace.TraceID, j.trace.SpanID,
+				"sse", streamStart, time.Now(), map[string]string{
+					"events":  strconv.Itoa(sent),
+					"resumed": strconv.FormatBool(resumed),
+				}))
+		}
+	}()
+
 	// A client disconnect must unblock waitEvents.
 	stop := context.AfterFunc(r.Context(), j.wake)
 	defer stop()
@@ -753,10 +804,56 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		fl.Flush()
 		next += len(evs)
+		sent += len(evs)
 		if done {
 			return
 		}
 	}
+}
+
+// JobTraceResponse is the body of GET /v1/jobs/{id}/trace: the job's
+// persisted span timeline, which survives restarts alongside the event
+// log.
+type JobTraceResponse struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	TraceID string   `json:"trace_id,omitempty"`
+	// Spans is the timeline in recording order: admit, queue, compile,
+	// per-scale profile/run spans, journal appends, SSE deliveries.
+	Spans []xtrace.SpanRecord `json:"spans"`
+	// DroppedSpans counts spans discarded past the per-job cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authn(w, r); !ok {
+		return
+	}
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	resp := JobTraceResponse{
+		ID:           j.id,
+		State:        j.state,
+		TraceID:      j.traceID(),
+		Spans:        append([]xtrace.SpanRecord(nil), j.spans...),
+		DroppedSpans: j.spansDropped,
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// VersionResponse is the body of GET /v1/version.
+type VersionResponse struct {
+	Service string `json:"service"`
+	obs.BuildInfo
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{Service: "alchemist", BuildInfo: s.build})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -765,16 +862,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Status    string   `json:"status"`
-		Workers   int      `json:"workers"`
-		Queue     int      `json:"queue_capacity"`
-		Durable   bool     `json:"durable"`
-		Workloads []string `json:"workloads"`
+		Status    string        `json:"status"`
+		Workers   int           `json:"workers"`
+		Queue     int           `json:"queue_capacity"`
+		Durable   bool          `json:"durable"`
+		Build     obs.BuildInfo `json:"build"`
+		Workloads []string      `json:"workloads"`
 	}{
 		Status:  state,
 		Workers: s.eng.Workers(),
 		Queue:   s.opts.QueueDepth,
 		Durable: s.wal != nil,
+		Build:   s.build,
 		Workloads: func() []string {
 			var names []string
 			for _, wl := range progs.All() {

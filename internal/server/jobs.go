@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"alchemist/internal/obs"
+	"alchemist/internal/xtrace"
 )
 
 // JobState is the lifecycle of an async job. Transitions are strictly
@@ -79,6 +80,12 @@ type job struct {
 	reqRaw json.RawMessage
 	wal    *walWriter
 
+	// trace is the job's trace identity: every span in its timeline
+	// shares trace.TraceID and is parented (directly or transitively)
+	// under trace.SpanID, the submitting request's root span. Zero for
+	// jobs submitted before tracing existed (journal replay).
+	trace xtrace.SpanContext
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -92,7 +99,40 @@ type job struct {
 	progress        obs.Progress
 	lastProgressPub time.Time
 
+	// spans is the job's persisted span timeline: admission, queue
+	// wait, compile, per-scale profile runs, journal appends, SSE
+	// delivery. Bounded by maxJobSpans; journaled like events.
+	spans        []xtrace.SpanRecord
+	spansDropped int
+
 	cancel context.CancelFunc
+}
+
+// maxJobSpans bounds one job's persisted span timeline (and therefore
+// its journal footprint); spans past the cap are counted, not kept.
+const maxJobSpans = 128
+
+// RecordSpan appends one finished span to the job's persisted timeline
+// and journals it. It implements xtrace.Recorder, so a context built
+// with xtrace.ContextWithRecorder(ctx, j) routes every span ended under
+// it — engine compile/profile spans included — into the job record.
+func (j *job) RecordSpan(rec xtrace.SpanRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recordSpanLocked(rec)
+}
+
+// recordSpanLocked is RecordSpan for callers already holding j.mu
+// (spans measured inside locked sections, like the terminal journal
+// append).
+func (j *job) recordSpanLocked(rec xtrace.SpanRecord) {
+	if len(j.spans) >= maxJobSpans {
+		j.spansDropped++
+		return
+	}
+	seq := len(j.spans)
+	j.spans = append(j.spans, rec)
+	j.wal.append(walRecord{Type: recSpan, ID: j.id, At: rec.End, Span: &rec, SpanSeq: seq})
 }
 
 // newJob builds a queued job without publishing or journaling anything:
@@ -133,6 +173,7 @@ func (j *job) enqueue() {
 	j.wal.append(walRecord{
 		Type: recCreated, ID: j.id, At: j.created,
 		Kind: j.kind, Request: j.reqRaw, IdemKey: j.idemKey,
+		TraceID: j.traceID(),
 	})
 	j.publishLocked(Event{Type: "state", State: JobQueued})
 }
@@ -186,11 +227,24 @@ func (j *job) finish(result any, err error) {
 		}
 		j.publishLocked(Event{Type: "state", State: JobSucceeded})
 	}
+	walStart := time.Now()
 	j.wal.append(walRecord{
 		Type: recDone, ID: j.id, At: j.finished,
 		StartedAt: j.started, FinishedAt: j.finished,
 		Error: j.errMsg, Result: j.result,
 	})
+	if j.wal != nil && j.trace.Valid() {
+		j.recordSpanLocked(xtrace.MakeRecord(j.trace.TraceID, j.trace.SpanID,
+			"journal.append", walStart, time.Now(), nil))
+	}
+}
+
+// traceID returns the job's hex trace ID ("" when untraced).
+func (j *job) traceID() string {
+	if !j.trace.Valid() {
+		return ""
+	}
+	return j.trace.TraceID.String()
 }
 
 // interrupt marks a recovered non-terminal job as interrupted: the
@@ -292,6 +346,11 @@ type JobStatus struct {
 	Progress   []obs.JobProgress `json:"progress,omitempty"`
 	TotalSteps int64             `json:"total_steps"`
 	Result     any               `json:"result,omitempty"`
+	// TraceID is the job's trace identity; the full span timeline is at
+	// GET /v1/jobs/{id}/trace (and, while retained, /debug/traces).
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans counts the persisted span-timeline entries.
+	Spans int `json:"spans,omitempty"`
 	// IdempotentReplay marks a POST /v1/jobs response that returned an
 	// existing job because its Idempotency-Key had been seen before.
 	IdempotentReplay bool `json:"idempotent_replay,omitempty"`
@@ -310,6 +369,8 @@ func (j *job) status(withResult bool) JobStatus {
 		Error:      j.errMsg,
 		Progress:   j.progress.Snapshot(),
 		TotalSteps: j.progress.TotalSteps(),
+		TraceID:    j.traceID(),
+		Spans:      len(j.spans),
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -340,6 +401,8 @@ func (j *job) snapshot() jobSnapshot {
 		Error:      j.errMsg,
 		Result:     j.result,
 		Events:     append([]Event(nil), j.events...),
+		Spans:      append([]xtrace.SpanRecord(nil), j.spans...),
+		TraceID:    j.traceID(),
 		IdemKey:    j.idemKey,
 		Request:    j.reqRaw,
 	}

@@ -1,13 +1,35 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"alchemist/internal/xtrace"
 )
+
+// reqInfo is the per-request correlation state shared between the
+// middleware and handlers: the middleware fills the trace identity, the
+// authn step fills the client name, and the access log reads both.
+type reqInfo struct {
+	traceID string
+	spanID  string
+	client  string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the request's correlation state (nil outside the
+// instrument middleware).
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
 
 // statusWriter records the response status and size for the access log
 // and error counters, and forwards Flush so SSE streaming works through
@@ -44,9 +66,13 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps one route handler with the server middleware stack:
-// request counters, per-route latency, body-size limiting, panic
-// isolation, and access logging. A panicking handler is reported as 500
-// without taking down the server or its sibling requests.
+// trace-context extraction (W3C traceparent; malformed headers start a
+// new root), a per-request root span, request counters (plain and
+// labeled), per-route latency with trace-ID exemplars, body-size
+// limiting, panic isolation, and structured access logging with
+// trace_id/span_id/client correlation fields. A panicking handler is
+// reported as 500 without taking down the server or its sibling
+// requests.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.sm.latency[route]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -54,6 +80,36 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.sm.inflight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+
+		// Adopt the caller's trace when the header parses; any parse
+		// failure silently starts a new root, per the W3C spec.
+		ctx := xtrace.ContextWithTracer(r.Context(), s.tracer)
+		if sc, err := xtrace.ParseTraceparent(r.Header.Get(xtrace.TraceparentHeader)); err == nil {
+			ctx = xtrace.ContextWithSpanContext(ctx, sc)
+		}
+		ctx, sp := xtrace.StartSpan(ctx, "http."+route)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		ri := &reqInfo{traceID: sp.TraceID(), spanID: sp.SpanID()}
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		r = r.WithContext(ctx)
+		// Echo the (possibly new) trace identity so callers that did not
+		// send a traceparent can still correlate logs and /debug/traces.
+		if tid := sp.TraceID(); tid != "" {
+			w.Header().Set(xtrace.TraceparentHeader, xtrace.Traceparent(sp.Context()))
+		}
+
+		finish := func(code int, panicked bool) {
+			d := time.Since(start)
+			sp.SetAttr("status", fmt.Sprint(code))
+			sp.SetAttr("client", ri.client)
+			sp.End()
+			s.logAccess(r, ri, code, sw.bytes, d, panicked)
+			s.sm.requestsByRoute.With(route, fmt.Sprint(code), clientLabel(ri.client)).Inc()
+			s.sm.inflight.Add(-1)
+			hist.ObserveExemplar(d.Seconds(), ri.traceID)
+		}
+
 		defer func() {
 			if v := recover(); v != nil {
 				s.sm.panics.Inc()
@@ -61,25 +117,21 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 					httpError(sw, http.StatusInternalServerError,
 						CodeInternal, "internal error: %v", v)
 				}
-				s.logAccess(r, sw, time.Since(start))
-				// The stack goes to the access log sink if there is
-				// one; the request itself only sees the opaque 500.
-				if s.opts.AccessLog != nil {
-					s.logMu.Lock()
-					fmt.Fprintf(s.opts.AccessLog, "panic in %s %s: %v\n%s",
-						r.Method, r.URL.Path, v, debug.Stack())
-					s.logMu.Unlock()
+				// The stack goes to the structured log; the request
+				// itself only sees the opaque 500.
+				if s.logger != nil {
+					s.logger.Error("handler panic",
+						"method", r.Method, "path", r.URL.Path,
+						"trace_id", ri.traceID, "span_id", ri.spanID,
+						"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
 				}
-				s.sm.inflight.Add(-1)
-				hist.Observe(time.Since(start).Seconds())
+				finish(statusOf(sw), true)
 				return
 			}
 			if sw.code >= 400 {
 				s.sm.errors.Inc()
 			}
-			s.logAccess(r, sw, time.Since(start))
-			s.sm.inflight.Add(-1)
-			hist.Observe(time.Since(start).Seconds())
+			finish(statusOf(sw), false)
 		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -88,19 +140,44 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// logAccess emits one structured access-log line.
-func (s *Server) logAccess(r *http.Request, sw *statusWriter, d time.Duration) {
-	if s.opts.AccessLog == nil {
+// statusOf returns the response status, defaulting to 200 for handlers
+// that never called WriteHeader explicitly.
+func statusOf(sw *statusWriter) int {
+	if !sw.wrote {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// clientLabel keeps the client dimension of labeled metrics closed over
+// configured names: requests that never passed authn count as "none".
+func clientLabel(client string) string {
+	if client == "" {
+		return "none"
+	}
+	return client
+}
+
+// logAccess emits one structured access-log record with correlation
+// fields.
+func (s *Server) logAccess(r *http.Request, ri *reqInfo, code int, bytes int64, d time.Duration, panicked bool) {
+	if s.logger == nil {
 		return
 	}
-	code := sw.code
-	if !sw.wrote {
-		code = http.StatusOK
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", code),
+		slog.Int64("bytes", bytes),
+		slog.Duration("dur", d),
+		slog.String("trace_id", ri.traceID),
+		slog.String("span_id", ri.spanID),
+		slog.String("client", ri.client),
 	}
-	s.logMu.Lock()
-	fmt.Fprintf(s.opts.AccessLog, "%s method=%s path=%s status=%d bytes=%d dur=%s\n",
-		time.Now().UTC().Format(time.RFC3339), r.Method, r.URL.Path, code, sw.bytes, d)
-	s.logMu.Unlock()
+	if panicked {
+		attrs = append(attrs, slog.Bool("panicked", true))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 // Error codes form the machine-readable half of the error envelope:

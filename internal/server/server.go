@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"alchemist"
 	"alchemist/internal/journal"
 	"alchemist/internal/obs"
+	"alchemist/internal/xtrace"
 )
 
 // Options configures a Server. The zero value of every field selects a
@@ -126,8 +128,21 @@ type Options struct {
 	ProgressInterval time.Duration
 
 	// AccessLog receives one structured line per request. Nil disables
-	// access logging.
+	// access logging. When Logger is nil, a text slog handler is built
+	// over this writer; set Logger directly for JSON or custom handlers.
 	AccessLog io.Writer
+
+	// Logger receives structured access-log records and server
+	// diagnostics (panics, scrape-hook failures). Every access record
+	// carries trace_id/span_id/client correlation fields. Overrides
+	// AccessLog when both are set; nil with a nil AccessLog disables
+	// logging.
+	Logger *slog.Logger
+
+	// Tracer retains recent and slow request/job span timelines, served
+	// at /debug/traces. Defaults to a fresh tracer with default
+	// retention; pass one explicitly to share it across servers.
+	Tracer *xtrace.Tracer
 
 	// DataDir enables the disk-backed job journal: every job mutation
 	// is appended to a write-ahead log under this directory, and New
@@ -200,6 +215,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 4096
 	}
+	if o.Logger == nil && o.AccessLog != nil {
+		o.Logger = slog.New(slog.NewTextHandler(o.AccessLog, nil))
+	}
+	if o.Tracer == nil {
+		o.Tracer = xtrace.NewTracer(xtrace.Options{})
+	}
 	return o, nil
 }
 
@@ -230,6 +251,11 @@ type serverMetrics struct {
 	idemReplays     *obs.Counter
 	walErrors       *obs.Counter
 
+	// requestsByRoute dimensions request outcomes by route, status
+	// code, and client; past obs.MaxLabelCardinality distinct
+	// combinations new ones land in the _overflow child.
+	requestsByRoute *obs.CounterVec
+
 	latency map[string]*obs.Histogram
 }
 
@@ -239,7 +265,7 @@ type serverMetrics struct {
 var routes = []string{
 	"compile", "profile", "advise", "run",
 	"jobs_create", "jobs_list", "job_get", "job_cancel", "job_events",
-	"health",
+	"job_trace", "health", "version",
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -286,6 +312,9 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Job submissions answered with an existing job via Idempotency-Key."),
 		walErrors: r.Counter("alchemist_server_journal_errors_total",
 			"Job-store journal operations that failed (appends, snapshots)."),
+		requestsByRoute: r.CounterVec("alchemist_server_requests_by_route_total",
+			"HTTP API requests by route, status code, and client.",
+			[]string{"route", "code", "client"}),
 		latency: make(map[string]*obs.Histogram, len(routes)),
 	}
 	for _, route := range routes {
@@ -300,16 +329,19 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 // New, serve it via Handler (any http.Server) or Start (own listener),
 // and stop it with Shutdown (graceful drain) or Close (abort).
 type Server struct {
-	opts  Options
-	eng   *alchemist.Engine
-	reg   *obs.Registry
-	sm    *serverMetrics
-	admit chan struct{}
-	adm   *admission
-	store *jobStore
-	wal   *walWriter
-	rec   RecoveryStats
-	h     http.Handler
+	opts   Options
+	eng    *alchemist.Engine
+	reg    *obs.Registry
+	sm     *serverMetrics
+	logger *slog.Logger
+	tracer *xtrace.Tracer
+	build  obs.BuildInfo
+	admit  chan struct{}
+	adm    *admission
+	store  *jobStore
+	wal    *walWriter
+	rec    RecoveryStats
+	h      http.Handler
 
 	// walOnce guards the journal close across Shutdown/Close.
 	walOnce sync.Once
@@ -324,8 +356,6 @@ type Server struct {
 
 	// jobWG tracks async job goroutines for shutdown draining.
 	jobWG sync.WaitGroup
-
-	logMu sync.Mutex
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -358,12 +388,19 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:  opts,
-		eng:   opts.Engine,
-		reg:   opts.Registry,
-		sm:    newServerMetrics(opts.Registry),
-		admit: make(chan struct{}, opts.QueueDepth),
-		adm:   newAdmission(opts),
+		opts:   opts,
+		eng:    opts.Engine,
+		reg:    opts.Registry,
+		sm:     newServerMetrics(opts.Registry),
+		logger: opts.Logger,
+		tracer: opts.Tracer,
+		admit:  make(chan struct{}, opts.QueueDepth),
+		adm:    newAdmission(opts),
+	}
+	if s.logger != nil {
+		// Scrape-hook panics and other registry diagnostics go to the
+		// same structured sink as access logs.
+		s.reg.SetLogger(s.logger)
 	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 
@@ -395,6 +432,7 @@ func New(opts Options) (*Server, error) {
 	s.recoverJobs(recovered)
 
 	obs.RegisterProcess(s.reg)
+	s.build = obs.RegisterBuildInfo(s.reg)
 	s.h = s.buildHandler()
 	go s.janitor()
 	return s, nil
@@ -447,11 +485,14 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("job_trace", s.handleJobTrace))
 	mux.HandleFunc("GET /healthz", s.instrument("health", s.handleHealth))
+	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
 	oh := obs.Handler(s.reg)
 	mux.Handle("/metrics", oh)
 	mux.Handle("/metrics.json", oh)
 	mux.Handle("/debug/pprof/", oh)
+	mux.Handle("/debug/traces", xtrace.Handler(s.tracer))
 	return mux
 }
 

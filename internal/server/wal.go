@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"alchemist/internal/journal"
+	"alchemist/internal/xtrace"
 )
 
 // The server journals four record types. Replay is idempotent: a
@@ -18,6 +19,7 @@ import (
 const (
 	recCreated = "created" // a job entered the store
 	recEvent   = "event"   // one event-log entry (state transition or progress)
+	recSpan    = "span"    // one span-timeline entry
 	recDone    = "done"    // terminal outcome: result / error, timestamps
 	recRetired = "retired" // the store dropped the job (TTL or capacity)
 )
@@ -32,9 +34,15 @@ type walRecord struct {
 	Kind    string          `json:"kind,omitempty"`
 	Request json.RawMessage `json:"request,omitempty"`
 	IdemKey string          `json:"idem_key,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
 
 	// event
 	Event *Event `json:"event,omitempty"`
+
+	// span (SpanSeq deduplicates against snapshotted spans on replay,
+	// exactly like Event.Seq for the event log)
+	Span    *xtrace.SpanRecord `json:"span,omitempty"`
+	SpanSeq int                `json:"span_seq,omitempty"`
 
 	// done
 	StartedAt  time.Time       `json:"started_at,omitzero"`
@@ -46,17 +54,19 @@ type walRecord struct {
 // jobSnapshot is one job's full durable state inside a journal
 // snapshot.
 type jobSnapshot struct {
-	ID         string          `json:"id"`
-	Kind       string          `json:"kind"`
-	State      JobState        `json:"state"`
-	CreatedAt  time.Time       `json:"created_at"`
-	StartedAt  time.Time       `json:"started_at,omitzero"`
-	FinishedAt time.Time       `json:"finished_at,omitzero"`
-	Error      string          `json:"error,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
-	Events     []Event         `json:"events,omitempty"`
-	IdemKey    string          `json:"idem_key,omitempty"`
-	Request    json.RawMessage `json:"request,omitempty"`
+	ID         string              `json:"id"`
+	Kind       string              `json:"kind"`
+	State      JobState            `json:"state"`
+	CreatedAt  time.Time           `json:"created_at"`
+	StartedAt  time.Time           `json:"started_at,omitzero"`
+	FinishedAt time.Time           `json:"finished_at,omitzero"`
+	Error      string              `json:"error,omitempty"`
+	Result     json.RawMessage     `json:"result,omitempty"`
+	Events     []Event             `json:"events,omitempty"`
+	Spans      []xtrace.SpanRecord `json:"spans,omitempty"`
+	TraceID    string              `json:"trace_id,omitempty"`
+	IdemKey    string              `json:"idem_key,omitempty"`
+	Request    json.RawMessage     `json:"request,omitempty"`
 }
 
 // storeSnapshot is the journal snapshot payload: the whole job store.
@@ -165,6 +175,7 @@ func replayState(rec *journal.Recovery) ([]*jobSnapshot, error) {
 			byID[r.ID] = &jobSnapshot{
 				ID: r.ID, Kind: r.Kind, State: JobQueued,
 				CreatedAt: r.At, IdemKey: r.IdemKey, Request: r.Request,
+				TraceID: r.TraceID,
 			}
 			order = append(order, r.ID)
 		case recEvent:
@@ -185,6 +196,15 @@ func replayState(rec *journal.Recovery) ([]*jobSnapshot, error) {
 					js.StartedAt = r.At
 				}
 			}
+		case recSpan:
+			js := byID[r.ID]
+			if js == nil || r.Span == nil {
+				break
+			}
+			if r.SpanSeq != len(js.Spans) {
+				break // duplicate of a snapshotted span (or a gap: drop)
+			}
+			js.Spans = append(js.Spans, *r.Span)
 		case recDone:
 			js := byID[r.ID]
 			if js == nil {
@@ -228,6 +248,13 @@ func restoreJob(js *jobSnapshot, wal *walWriter) *job {
 		errMsg:   js.Error,
 		result:   js.Result,
 		events:   js.Events,
+		spans:    js.Spans,
+	}
+	// Spans recorded after recovery (requeue) rejoin the original
+	// trace; the lost parent span ID just makes them siblings of the
+	// old root's children.
+	if tid, err := xtrace.ParseTraceID(js.TraceID); err == nil {
+		j.trace = xtrace.SpanContext{TraceID: tid, SpanID: xtrace.NewSpanID()}
 	}
 	j.cond = sync.NewCond(&j.mu)
 	for _, ev := range js.Events {

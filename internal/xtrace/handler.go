@@ -1,0 +1,49 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// debugTraces is the /debug/traces response body.
+type debugTraces struct {
+	// Recent holds the retained traces, most recently updated first.
+	Recent []*TraceDump `json:"recent"`
+	// Slow holds traces pinned for containing a span over the slow
+	// threshold, slowest first.
+	Slow []*TraceDump `json:"slow"`
+}
+
+// Handler serves the tracer's retention as JSON:
+//
+//	GET /debug/traces            recent + slow traces
+//	GET /debug/traces?n=16       cap the recent list
+//	GET /debug/traces?trace_id=… one trace by hex ID (404 when unknown)
+//
+// Mount it next to /metrics so the whole observability surface shares
+// one listener.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			d := t.Trace(id)
+			if d == nil {
+				w.WriteHeader(http.StatusNotFound)
+				enc.Encode(map[string]string{"error": "no retained trace " + id})
+				return
+			}
+			enc.Encode(d)
+			return
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		enc.Encode(debugTraces{Recent: t.Recent(n), Slow: t.Slow()})
+	})
+}
